@@ -1,0 +1,94 @@
+//! ASCII rendering of a fabric — regenerates the survey's Figure 2
+//! ("Illustration of a simple CGRA"): the mesh topology, per-cell
+//! capabilities, and the configuration-register legend.
+
+use crate::fabric::{Fabric, IoPolicy, Topology};
+
+/// Render the fabric as ASCII art with a capability legend.
+pub fn render_fabric(f: &Fabric) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{} — {}x{} {}, RF={}{}, contexts={}, banks={}{}",
+        f.name,
+        f.rows,
+        f.cols,
+        match f.topology {
+            Topology::Mesh => "mesh",
+            Topology::MeshPlus => "mesh+diagonals",
+            Topology::Torus => "torus",
+            Topology::OneHop => "one-hop mesh",
+        },
+        f.rf_size,
+        if f.rf_rotating { " (rotating)" } else { "" },
+        f.context_depth,
+        f.mem_banks,
+        if f.hw_loop { ", hw-loop" } else { "" },
+    );
+    let _ = writeln!(s);
+    for r in 0..f.rows {
+        // Cell row.
+        for c in 0..f.cols {
+            let pe = f.pe_at(r, c);
+            let caps = f.caps(pe);
+            let m = if caps.mul { 'M' } else { '.' };
+            let d = if caps.mem { 'D' } else { '.' };
+            let io = if caps.io
+                && (f.io_policy == IoPolicy::Anywhere || f.is_border(pe))
+            {
+                'I'
+            } else {
+                '.'
+            };
+            let _ = write!(s, "[{:>3} {m}{d}{io}]", pe.0);
+            if c + 1 < f.cols {
+                let _ = write!(s, "--");
+            }
+        }
+        let _ = writeln!(s);
+        // Vertical links.
+        if r + 1 < f.rows {
+            for c in 0..f.cols {
+                let _ = write!(s, "    |    ");
+                if c + 1 < f.cols {
+                    let _ = write!(s, " ");
+                }
+            }
+            let _ = writeln!(s);
+        }
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(s, "legend: M = multiplier, D = data-memory port, I = stream I/O");
+    let _ = writeln!(
+        s,
+        "each cell: FU + {}-entry RF + configuration register (one context per II slot)",
+        f.rf_size
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+
+    #[test]
+    fn render_contains_all_cells() {
+        let f = Fabric::figure2();
+        let r = render_fabric(&f);
+        for pe in f.pe_ids() {
+            assert!(r.contains(&format!("{:>3}", pe.0)), "missing {pe}");
+        }
+        assert!(r.contains("legend"));
+    }
+
+    #[test]
+    fn heterogeneous_render_marks_caps() {
+        let f = Fabric::adres_like(4, 4);
+        let r = render_fabric(&f);
+        assert!(r.contains('M'));
+        assert!(r.contains('D'));
+        assert!(r.contains('I'));
+    }
+}

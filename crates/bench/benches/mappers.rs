@@ -1,0 +1,82 @@
+//! Criterion benches for the mapping techniques — the compile-time
+//! column of the empirical Table I: one group per technique family,
+//! measured on representative kernels.
+
+use cgra::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let cfg = MapConfig::default();
+    let mut group = c.benchmark_group("heuristic_mappers");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let kernels = [kernels::dot_product(), kernels::fir(4), kernels::sobel()];
+    for mapper in heuristic_mappers() {
+        for k in &kernels {
+            group.bench_with_input(
+                BenchmarkId::new(mapper.name(), &k.name),
+                k,
+                |b, k| {
+                    b.iter(|| {
+                        let _ = std::hint::black_box(mapper.map(k, &fabric, &cfg));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_meta(c: &mut Criterion) {
+    let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let cfg = MapConfig {
+        time_limit: Duration::from_secs(8),
+        ..MapConfig::default()
+    };
+    let mut group = c.benchmark_group("meta_heuristic_mappers");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    let k = kernels::sad();
+    let metas: Vec<Box<dyn Mapper>> = vec![
+        Box::new(SimulatedAnnealing::default()),
+        Box::new(Genetic::default()),
+        Box::new(Qea::default()),
+    ];
+    for mapper in metas {
+        group.bench_function(mapper.name(), |b| {
+            b.iter(|| {
+                let _ = std::hint::black_box(mapper.map(&k, &fabric, &cfg));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let fabric = Fabric::homogeneous(3, 3, Topology::Mesh);
+    let cfg = MapConfig {
+        time_limit: Duration::from_secs(8),
+        ..MapConfig::default()
+    };
+    let mut group = c.benchmark_group("exact_mappers");
+    group.sample_size(10).measurement_time(Duration::from_secs(12));
+    let k = kernels::dot_product();
+    let exacts: Vec<Box<dyn Mapper>> = vec![
+        Box::new(SatMapper::default()),
+        Box::new(CpMapper::default()),
+        Box::new(IlpMapper::default()),
+        Box::new(SmtMapper::default()),
+        Box::new(BranchAndBound::default()),
+    ];
+    for mapper in exacts {
+        group.bench_function(mapper.name(), |b| {
+            b.iter(|| {
+                let _ = std::hint::black_box(mapper.map(&k, &fabric, &cfg));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_meta, bench_exact);
+criterion_main!(benches);

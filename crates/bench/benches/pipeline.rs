@@ -1,0 +1,60 @@
+//! Criterion benches for the compilation pipeline itself (the Fig. 3
+//! flow): front-end parsing/lowering, middle-end passes, simulation.
+
+use cgra::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const SRC: &str = r#"
+kernel blend(in a, in b, in alpha, out y) {
+    var inv = 256 - alpha;
+    y = (a * alpha + b * inv) >> 8;
+}
+"#;
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(50).measurement_time(Duration::from_secs(5));
+    group.bench_function("parse_and_lower", |b| {
+        b.iter(|| std::hint::black_box(frontend::compile_kernel(SRC).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("middle_end");
+    group.sample_size(50).measurement_time(Duration::from_secs(5));
+    let base = kernels::yuv2rgb();
+    group.bench_function("optimize_yuv2rgb", |b| {
+        b.iter(|| {
+            let mut g = base.clone();
+            std::hint::black_box(passes::optimize(&mut g))
+        })
+    });
+    group.bench_function("unroll_x4_fir8", |b| {
+        let fir = kernels::fir(8);
+        b.iter(|| std::hint::black_box(passes::unroll(&fir, 4)))
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let dfg = kernels::dot_product();
+    let mapping = ModuloList::default()
+        .map(&dfg, &fabric, &MapConfig::default())
+        .unwrap();
+    let tape = Tape::generate(2, 1024, |s, i| ((s + 1) * (i + 1)) as i64 % 31);
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20).measurement_time(Duration::from_secs(6));
+    group.bench_function("interpreter_1024_iters", |b| {
+        b.iter(|| std::hint::black_box(Interpreter::run(&dfg, 1024, &tape).unwrap()))
+    });
+    group.bench_function("cycle_sim_1024_iters", |b| {
+        b.iter(|| std::hint::black_box(simulate(&mapping, &dfg, &fabric, 1024, &tape).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_passes, bench_simulation);
+criterion_main!(benches);

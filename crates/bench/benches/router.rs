@@ -1,0 +1,60 @@
+//! Criterion benches for the space-time router and the PathFinder
+//! negotiation loop (the ablation's performance side).
+
+use cgra::mapper::mapping::Placement;
+use cgra::mapper::route::{find_route, route_all, RouteOpts};
+use cgra::prelude::*;
+use cgra_ir::graph::{asap, unit_latency};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::time::Duration;
+
+fn bench_single_route(c: &mut Criterion) {
+    let fabric = Fabric::homogeneous(8, 8, Topology::Mesh);
+    let st = cgra::arch::SpaceTime::new(&fabric, 4);
+    let mut group = c.benchmark_group("router");
+    group.sample_size(30).measurement_time(Duration::from_secs(6));
+    group.bench_function("corner_to_corner_8x8", |b| {
+        b.iter(|| {
+            std::hint::black_box(find_route(
+                &fabric,
+                &st,
+                PeId(0),
+                0,
+                PeId(63),
+                16,
+                &HashSet::new(),
+                None,
+                RouteOpts::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_route_all(c: &mut Criterion) {
+    let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let dfg = kernels::sobel();
+    let times = asap(&dfg, &unit_latency);
+    // A deliberately mediocre placement to give negotiation work.
+    let place: Vec<Placement> = dfg
+        .node_ids()
+        .map(|n| Placement {
+            pe: PeId((n.0 * 5 % 16) as u16),
+            time: times[n.index()] * 3,
+        })
+        .collect();
+    let mut group = c.benchmark_group("route_all");
+    group.sample_size(20).measurement_time(Duration::from_secs(8));
+    for (label, negotiated) in [("negotiated", true), ("single_pass", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(route_all(&fabric, &dfg, &place, 8, 10, negotiated))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_route, bench_route_all);
+criterion_main!(benches);

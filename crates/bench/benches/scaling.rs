@@ -1,0 +1,35 @@
+//! Criterion benches for the scalability experiment: flat vs
+//! hierarchical mapping as the fabric grows (§IV-B).
+
+use cgra::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = MapConfig {
+        time_limit: Duration::from_secs(20),
+        ..MapConfig::default()
+    };
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    for (side, lanes) in [(4u16, 4usize), (8, 12)] {
+        let fabric = Fabric::homogeneous(side, side, Topology::Mesh);
+        let kernel = kernels::unrolled_mac(lanes);
+        let flat = ModuloList::default();
+        let hier = HiMap::default();
+        group.bench_with_input(
+            BenchmarkId::new("flat_modulo_list", format!("{side}x{side}")),
+            &kernel,
+            |b, k| b.iter(|| std::hint::black_box(flat.map(k, &fabric, &cfg))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("himap", format!("{side}x{side}")),
+            &kernel,
+            |b, k| b.iter(|| std::hint::black_box(hier.map(k, &fabric, &cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

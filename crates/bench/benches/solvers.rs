@@ -1,0 +1,130 @@
+//! Criterion benches for the from-scratch exact-method engines.
+
+use cgra_solver::cnf::{exactly_one, AmoEncoding};
+use cgra_solver::{Cmp, CpModel, IlpModel, Lit, Lp, SatSolver, SatVar, SmtSolver};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    group.sample_size(20).measurement_time(Duration::from_secs(6));
+    group.bench_function("assignment_8x8_relaxation", |b| {
+        b.iter(|| {
+            let n = 8usize;
+            let mut lp = Lp::new(n * n, true);
+            for i in 0..n {
+                for j in 0..n {
+                    lp.set_objective(i * n + j, ((i * 7 + j * 3) % 11) as f64);
+                }
+            }
+            for i in 0..n {
+                let row: Vec<(usize, f64)> = (0..n).map(|j| (i * n + j, 1.0)).collect();
+                lp.add_constraint(&row, Cmp::Eq, 1.0);
+                let col: Vec<(usize, f64)> = (0..n).map(|j| (j * n + i, 1.0)).collect();
+                lp.add_constraint(&col, Cmp::Le, 1.0);
+            }
+            std::hint::black_box(lp.solve())
+        })
+    });
+    group.finish();
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_bnb");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("knapsack_16", |b| {
+        b.iter(|| {
+            let mut m = IlpModel::new(true);
+            let vars: Vec<_> = (0..16)
+                .map(|i| m.add_var(((i * 13 + 7) % 19 + 1) as f64))
+                .collect();
+            let weights: Vec<(cgra_solver::IlpVar, f64)> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, ((i * 5 + 3) % 9 + 1) as f64))
+                .collect();
+            m.add_constraint(&weights, Cmp::Le, 30.0);
+            std::hint::black_box(m.solve())
+        })
+    });
+    group.finish();
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl_sat");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("php_7_6_unsat", |b| {
+        b.iter(|| {
+            let mut s = SatSolver::new();
+            let p: Vec<Vec<SatVar>> = (0..7)
+                .map(|_| (0..6).map(|_| s.new_var()).collect())
+                .collect();
+            for row in &p {
+                let c: Vec<Lit> = row.iter().map(|&x| Lit::pos(x)).collect();
+                s.add_clause(&c);
+            }
+            for hole in 0..6 {
+                for a in 0..7 {
+                    for bb in (a + 1)..7 {
+                        s.add_clause(&[Lit::neg(p[a][hole]), Lit::neg(p[bb][hole])]);
+                    }
+                }
+            }
+            std::hint::black_box(s.solve())
+        })
+    });
+    group.bench_function("exactly_one_chain_sat", |b| {
+        b.iter(|| {
+            let mut s = SatSolver::new();
+            for _ in 0..40 {
+                let vs: Vec<Lit> = (0..12).map(|_| Lit::pos(s.new_var())).collect();
+                exactly_one(&mut s, &vs, AmoEncoding::Sequential);
+            }
+            std::hint::black_box(s.solve())
+        })
+    });
+    group.finish();
+}
+
+fn bench_cp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp_engine");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("n_queens_8", |b| {
+        b.iter(|| {
+            let n = 8u32;
+            let mut m = CpModel::new();
+            let cols: Vec<_> = (0..n).map(|_| m.add_var(n)).collect();
+            m.all_different(&cols);
+            for i in 0..n as usize {
+                for j in (i + 1)..n as usize {
+                    let d = (j - i) as u32;
+                    m.binary_table(cols[i], cols[j], move |a, b| a.abs_diff(b) != d);
+                }
+            }
+            std::hint::black_box(m.solve())
+        })
+    });
+    group.finish();
+}
+
+fn bench_smt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt_difference_logic");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("window_chain_24", |b| {
+        b.iter(|| {
+            let n = 24;
+            let mut s = SmtSolver::new(n + 1);
+            for i in 0..n - 1 {
+                let a = s.diff_le(i, i + 1, -1);
+                s.add_clause(&[a]);
+            }
+            let bound = s.diff_le(n - 1, 0, 40);
+            s.add_clause(&[bound]);
+            std::hint::black_box(s.solve())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_ilp, bench_sat, bench_cp, bench_smt);
+criterion_main!(benches);

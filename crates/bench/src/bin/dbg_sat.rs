@@ -1,0 +1,50 @@
+//! Scratch debug driver (not part of the experiment set).
+
+use cgra::prelude::*;
+use cgra_ir::graph::asap;
+
+fn main() {
+    let dfg = kernels::dot_product();
+    let f = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let lat = |op: cgra_ir::OpKind| f.latency_of(op);
+    println!("asap: {:?}", asap(&dfg, &lat));
+    for (id, n) in dfg.nodes() {
+        println!("{id}: {}", n.op);
+    }
+    for (eid, e) in dfg.edges() {
+        println!("e{}: {} -> {} d{}", eid.0, e.src, e.dst, e.dist);
+    }
+
+    // Hand placement at II=1:
+    // a@(0,0)t0 b@(1,1)t0 mul@(0,1)t1 add@(0,2)t2 out@(0,3)t3
+    let placements = [
+        (f.pe_at(0, 0), 0u32),
+        (f.pe_at(1, 1), 0),
+        (f.pe_at(0, 1), 1),
+        (f.pe_at(0, 2), 2),
+        (f.pe_at(0, 3), 3),
+    ];
+    let hop = f.hop_distance();
+    // Check edge compatibility manually.
+    for (eid, e) in dfg.edges() {
+        let (pa, ta) = placements[e.src.index()];
+        let (pb, tb) = placements[e.dst.index()];
+        let tr = ta + f.latency_of(dfg.op(e.src));
+        let tc = tb + e.dist;
+        let ok = tc >= tr && hop[pa.index()][pb.index()] <= tc - tr;
+        println!(
+            "edge e{} compat: tr={tr} tc={tc} hop={} -> {}",
+            eid.0,
+            hop[pa.index()][pb.index()],
+            ok
+        );
+    }
+    // Route it for real.
+    use cgra::mapper::mapping::Placement;
+    let place: Vec<Placement> = placements
+        .iter()
+        .map(|&(pe, time)| Placement { pe, time })
+        .collect();
+    let routes = cgra::mapper::route::route_all(&f, &dfg, &place, 1, 12, true);
+    println!("manual placement routable at ii=1: {}", routes.is_some());
+}

@@ -1,0 +1,69 @@
+//! Experiment: **Figure 4** — the publications-per-year timeline of
+//! CGRA-mapping research, with technique-era annotations, regenerated
+//! from the survey's own reference corpus.
+//!
+//! ```sh
+//! cargo run -p cgra-bench --bin fig4
+//! ```
+
+use cgra_bench::save_json;
+use cgra_survey as survey;
+
+fn main() {
+    println!("{}", survey::render_timeline());
+
+    let hist = survey::histogram();
+    let spans = survey::era_spans();
+
+    // Shape checks against the published figure's claims.
+    let first_decade: usize = hist
+        .iter()
+        .filter(|p| p.year <= 2010)
+        .map(|p| p.publications)
+        .sum();
+    let second_decade: usize = hist
+        .iter()
+        .filter(|p| p.year >= 2011)
+        .map(|p| p.publications)
+        .sum();
+    let y2021 = hist
+        .iter()
+        .find(|p| p.year == 2021)
+        .map(|p| p.publications)
+        .unwrap_or(0);
+    let max_bar = hist.iter().map(|p| p.publications).max().unwrap_or(0);
+
+    println!("shape checks (survey claims):");
+    println!(
+        "  intensified efforts in the last decade ({first_decade} vs {second_decade}): {}",
+        if second_decade > first_decade { "HOLDS" } else { "VIOLATED" }
+    );
+    println!(
+        "  clear increase in 2021 (bar {y2021} = max {max_bar}): {}",
+        if y2021 == max_bar { "HOLDS" } else { "VIOLATED" }
+    );
+    println!(
+        "  modulo scheduling since the beginning (first {} <= 2003): {}",
+        spans[&survey::Tag::ModuloScheduling].0,
+        if spans[&survey::Tag::ModuloScheduling].0 <= 2003 { "HOLDS" } else { "VIOLATED" }
+    );
+    println!(
+        "  branch support from the early 2000s (first {} <= 2002): {}",
+        spans[&survey::Tag::FullPredication].0,
+        if spans[&survey::Tag::FullPredication].0 <= 2002 { "HOLDS" } else { "VIOLATED" }
+    );
+    println!(
+        "  memory-aware methods from around 2010 (first {}): {}",
+        spans[&survey::Tag::MemoryAware].0,
+        if (2008..=2013).contains(&spans[&survey::Tag::MemoryAware].0) { "HOLDS" } else { "VIOLATED" }
+    );
+
+    save_json("fig4_histogram", &hist);
+    save_json(
+        "fig4_eras",
+        &spans
+            .iter()
+            .map(|(t, (lo, hi))| (t.label(), *lo, *hi))
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,60 @@
+//! # cgra-mapper-core
+//!
+//! The unified CGRA mapping framework: one `Mapping` representation,
+//! one validator, one router — and an implementation of every mapping
+//! technique family classified in Table I of Martin's survey
+//! (*Twenty Years of Automated Methods for Mapping Applications on
+//! CGRA*, IPDPSW 2022):
+//!
+//! | Family | Mappers here |
+//! |---|---|
+//! | Heuristics (spatial) | [`mappers::SpatialGreedy`], [`mappers::GraphDrawing`] |
+//! | Heuristics (temporal) | [`mappers::ModuloList`], [`mappers::EdgeCentric`], [`mappers::EpiMap`], [`mappers::Ramp`], [`mappers::HiMap`], [`mappers::GraphMinor`] |
+//! | Meta-heuristics | [`mappers::SimulatedAnnealing`], [`mappers::Genetic`], [`mappers::Qea`] |
+//! | ILP / B&B | [`mappers::IlpMapper`], [`mappers::BranchAndBound`] |
+//! | CSP (CP / SAT / SMT) | [`mappers::CpMapper`], [`mappers::SatMapper`], [`mappers::SmtMapper`] |
+//!
+//! The mapping model (see [`mapping`]) is the common denominator of the
+//! surveyed techniques: operations bind to `(PE, cycle)` pairs, values
+//! move one hop per cycle through register files, time folds modulo the
+//! initiation interval (II), and a *spatial* mapping is the special
+//! case II = 1 with at most one operation per PE.
+//!
+//! ```
+//! use cgra_ir::kernels;
+//! use cgra_arch::{Fabric, Topology};
+//! use cgra_mapper_core::prelude::*;
+//!
+//! let dfg = kernels::dot_product();
+//! let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+//! let mapper = ModuloList::default();
+//! let mapping = mapper.map(&dfg, &fabric, &MapConfig::default()).unwrap();
+//! validate(&mapping, &dfg, &fabric).unwrap();
+//! assert!(mapping.ii >= 1);
+//! ```
+
+pub mod ctrlflow;
+pub mod mapper;
+pub mod mappers;
+pub mod mapping;
+pub mod memmap;
+pub mod metrics;
+pub mod portfolio;
+pub mod route;
+pub mod streaming;
+pub mod validate;
+
+pub use mapper::{Family, MapConfig, MapError, Mapper};
+pub use mapping::{Mapping, Placement, Route};
+pub use metrics::Metrics;
+pub use validate::{validate, ValidationError};
+
+/// Everything a mapper user needs.
+pub mod prelude {
+    pub use crate::mapper::{Family, MapConfig, MapError, Mapper};
+    pub use crate::mappers::*;
+    pub use crate::mapping::{Mapping, Placement, Route};
+    pub use crate::metrics::Metrics;
+    pub use crate::portfolio::{run_portfolio, PortfolioEntry};
+    pub use crate::validate::validate;
+}

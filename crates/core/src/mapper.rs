@@ -1,0 +1,144 @@
+//! The `Mapper` trait, configuration, errors, and the Table I taxonomy.
+
+use crate::mapping::Mapping;
+use cgra_arch::Fabric;
+use cgra_ir::Dfg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// The survey's Table I classification axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Family {
+    /// Problem-specific constructive heuristics.
+    Heuristic,
+    /// Population-based meta-heuristics (GA, QEA).
+    MetaPopulation,
+    /// Local-search meta-heuristics (SA).
+    MetaLocalSearch,
+    /// ILP or branch-and-bound exact methods.
+    ExactIlp,
+    /// Constraint-satisfaction exact methods (CP, SAT, SMT).
+    ExactCsp,
+}
+
+impl Family {
+    /// Approximate vs exact — the top-level split of Table I.
+    pub fn is_exact(self) -> bool {
+        matches!(self, Family::ExactIlp | Family::ExactCsp)
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Heuristic => "heuristic",
+            Family::MetaPopulation => "meta-heuristic (population)",
+            Family::MetaLocalSearch => "meta-heuristic (local search)",
+            Family::ExactIlp => "exact (ILP/B&B)",
+            Family::ExactCsp => "exact (CSP)",
+        }
+    }
+}
+
+/// Mapper configuration and budgets.
+#[derive(Debug, Clone)]
+pub struct MapConfig {
+    /// Search IIs from MII up to this bound (inclusive).
+    pub max_ii: u32,
+    /// Cap on the schedule horizon, as a multiple of the critical path.
+    pub horizon_factor: u32,
+    /// Wall-clock budget.
+    pub time_limit: Duration,
+    /// RNG seed for stochastic mappers.
+    pub seed: u64,
+    /// Mapper-specific effort knob (SA sweeps, GA generations, B&B
+    /// nodes in thousands, …).
+    pub effort: u32,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        MapConfig {
+            max_ii: 16,
+            horizon_factor: 4,
+            time_limit: Duration::from_secs(20),
+            seed: 0xC6_12A,
+            effort: 100,
+        }
+    }
+}
+
+impl MapConfig {
+    /// A quick-budget configuration for tests.
+    pub fn fast() -> Self {
+        MapConfig {
+            max_ii: 8,
+            time_limit: Duration::from_secs(10),
+            effort: 20,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a mapper failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// Proven or suspected infeasible within the II/horizon bounds.
+    Infeasible(String),
+    /// Budget exhausted before a valid mapping was found.
+    Timeout,
+    /// The DFG uses a feature the mapper does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Infeasible(why) => write!(f, "infeasible: {why}"),
+            MapError::Timeout => write!(f, "budget exhausted"),
+            MapError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A mapping technique. Implementations must return mappings that pass
+/// [`crate::validate::validate`].
+pub trait Mapper: Send + Sync {
+    /// Short name used in reports ("modulo-list", "sa", "ilp", …).
+    fn name(&self) -> &'static str;
+
+    /// Taxonomy cell for the Table I reproduction.
+    fn family(&self) -> Family;
+
+    /// True if the mapper produces spatial (II = 1, one-op-per-PE)
+    /// mappings rather than temporal ones.
+    fn is_spatial(&self) -> bool {
+        false
+    }
+
+    /// Map `dfg` onto `fabric`.
+    fn map(&self, dfg: &Dfg, fabric: &Fabric, cfg: &MapConfig) -> Result<Mapping, MapError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_split() {
+        assert!(Family::ExactIlp.is_exact());
+        assert!(Family::ExactCsp.is_exact());
+        assert!(!Family::Heuristic.is_exact());
+        assert!(!Family::MetaPopulation.is_exact());
+    }
+
+    #[test]
+    fn config_defaults_sane() {
+        let c = MapConfig::default();
+        assert!(c.max_ii >= 4);
+        assert!(c.horizon_factor >= 1);
+        let f = MapConfig::fast();
+        assert!(f.time_limit <= c.time_limit);
+    }
+}

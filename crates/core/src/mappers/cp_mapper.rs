@@ -1,0 +1,215 @@
+//! Constraint-programming mapping (Raffin, Wolinski, Charot &
+//! Kuchcinski lineage — DASIP 2010, built on the JaCoP CP solver).
+//!
+//! One finite-domain variable per operation over its candidate-position
+//! indices; binary compatibility constraints per edge (latency + hop
+//! feasibility on the TEC) and pairwise FU-exclusivity constraints;
+//! solved by the AC-3 + MRV engine of [`cgra_solver::CpModel`]. A
+//! CEGAR loop blocks placements the router cannot realise.
+
+use super::exact_common::{edge_compatible, realise, PositionSpace};
+use crate::mapper::{Family, MapConfig, MapError, Mapper};
+use crate::mapping::Mapping;
+use cgra_arch::{Fabric, PeId};
+use cgra_ir::Dfg;
+use cgra_solver::cp::CpConfig;
+use cgra_solver::{CpModel, CpSolution, CpVar};
+use std::time::Instant;
+
+/// The CP mapper.
+#[derive(Debug, Clone)]
+pub struct CpMapper {
+    pub position_cap: Option<usize>,
+    pub cegar_rounds: u32,
+    pub window_iis: u32,
+}
+
+impl Default for CpMapper {
+    fn default() -> Self {
+        CpMapper {
+            position_cap: Some(40),
+            cegar_rounds: 12,
+            window_iis: 2,
+        }
+    }
+}
+
+impl CpMapper {
+    fn try_ii(
+        &self,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        ii: u32,
+        hop: &[Vec<u32>],
+        deadline: Instant,
+    ) -> Result<Option<Mapping>, MapError> {
+        let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, self.position_cap);
+        let mut blocked: Vec<Vec<(PeId, u32)>> = Vec::new();
+
+        for _ in 0..self.cegar_rounds.max(1) {
+            if Instant::now() > deadline {
+                return Err(MapError::Timeout);
+            }
+            let mut model = CpModel::new();
+            let vars: Vec<CpVar> = space
+                .positions
+                .iter()
+                .map(|ps| model.add_var(ps.len().max(1) as u32))
+                .collect();
+            for (o, ps) in space.positions.iter().enumerate() {
+                if ps.is_empty() {
+                    return Ok(None);
+                }
+                let _ = o;
+            }
+
+            // Edge compatibility.
+            for (_, e) in dfg.edges() {
+                let src_op = dfg.op(e.src);
+                let sp: Vec<(PeId, u32)> = space.positions[e.src.index()].clone();
+                let dp: Vec<(PeId, u32)> = space.positions[e.dst.index()].clone();
+                let fabric2 = fabric.clone();
+                let hop2: Vec<Vec<u32>> = hop.to_vec();
+                let dist = e.dist;
+                if e.src == e.dst {
+                    // Self edge: the position must be self-compatible.
+                    for (k, &a) in sp.iter().enumerate() {
+                        if !edge_compatible(fabric, hop, ii, src_op, dist, a, a) {
+                            model.forbid(vars[e.src.index()], k as u32);
+                        }
+                    }
+                } else {
+                    model.binary_table(
+                        vars[e.src.index()],
+                        vars[e.dst.index()],
+                        move |a, b| {
+                            edge_compatible(
+                                &fabric2,
+                                &hop2,
+                                ii,
+                                src_op,
+                                dist,
+                                sp[a as usize],
+                                dp[b as usize],
+                            )
+                        },
+                    );
+                }
+            }
+
+            // FU exclusivity: pairwise (pe, slot) difference.
+            for a in 0..vars.len() {
+                for b in (a + 1)..vars.len() {
+                    let pa: Vec<(PeId, u32)> = space.positions[a].clone();
+                    let pb: Vec<(PeId, u32)> = space.positions[b].clone();
+                    model.binary_table(vars[a], vars[b], move |x, y| {
+                        let (pe1, t1) = pa[x as usize];
+                        let (pe2, t2) = pb[y as usize];
+                        pe1 != pe2 || t1 % ii != t2 % ii
+                    });
+                }
+            }
+
+            // CEGAR restart: this engine has no tuple no-goods, so each
+            // failed placement is excluded by forbidding one pivot op's
+            // value (a different pivot per round). This over-prunes —
+            // solutions differing only elsewhere are lost — trading
+            // completeness for progress; the ILP/SAT mappers keep exact
+            // tuple blocking.
+            for (round, bl) in blocked.iter().enumerate() {
+                let pivot = round % vars.len();
+                if let Some(k) = space.positions[pivot].iter().position(|&p| p == bl[pivot]) {
+                    model.forbid(vars[pivot], k as u32);
+                }
+            }
+
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let sol = model.solve_with(CpConfig {
+                time_limit: remaining,
+                node_limit: 500_000,
+            });
+            match sol {
+                CpSolution::Unsat => return Ok(None),
+                CpSolution::Unknown => return Err(MapError::Timeout),
+                CpSolution::Sat(values) => {
+                    let chosen: Vec<(PeId, u32)> = values
+                        .iter()
+                        .enumerate()
+                        .map(|(o, &k)| space.positions[o][k as usize])
+                        .collect();
+                    if let Some(m) = realise(dfg, fabric, ii, &chosen) {
+                        return Ok(Some(m));
+                    }
+                    blocked.push(chosen);
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Mapper for CpMapper {
+    fn name(&self) -> &'static str {
+        "cp"
+    }
+
+    fn family(&self) -> Family {
+        Family::ExactCsp
+    }
+
+    fn map(&self, dfg: &Dfg, fabric: &Fabric, cfg: &MapConfig) -> Result<Mapping, MapError> {
+        dfg.validate()
+            .map_err(|e| MapError::Unsupported(e.to_string()))?;
+        let mii = super::ModuloList::mii(dfg, fabric);
+        if mii == u32::MAX {
+            return Err(MapError::Infeasible(
+                "fabric lacks a required resource class".into(),
+            ));
+        }
+        let max_ii = cfg.max_ii.min(fabric.context_depth);
+        if mii > max_ii {
+            return Err(MapError::Infeasible(format!(
+                "MII {mii} exceeds the II bound {max_ii}"
+            )));
+        }
+        let hop = fabric.hop_distance();
+        let deadline = Instant::now() + cfg.time_limit;
+        for ii in mii..=max_ii {
+            match self.try_ii(dfg, fabric, ii, &hop, deadline) {
+                Ok(Some(m)) => return Ok(m),
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Err(MapError::Infeasible(format!(
+            "CP infeasible for every II in {mii}..={max_ii} (candidate window)"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use cgra_arch::Topology;
+    use cgra_ir::kernels;
+
+    #[test]
+    fn cp_maps_small_suite() {
+        let f = Fabric::homogeneous(4, 4, Topology::Mesh);
+        for dfg in kernels::small_suite() {
+            let m = CpMapper::default()
+                .map(&dfg, &f, &MapConfig::fast())
+                .unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
+            validate(&m, &dfg, &f).unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
+        }
+    }
+
+    #[test]
+    fn cp_handles_heterogeneous_fabric() {
+        let f = Fabric::adres_like(4, 4);
+        let dfg = kernels::dot_product();
+        let m = CpMapper::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        validate(&m, &dfg, &f).unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! Shared machinery for the exact mappers (ILP, B&B, CP, SAT, SMT):
+//! the candidate position space and the pairwise compatibility
+//! predicate, plus the CEGAR finishing loop that turns a chosen
+//! placement into a routed mapping.
+//!
+//! Exactness is *relative to the candidate space*: positions are
+//! restricted to a scheduling window derived from ASAP levels (and
+//! optionally the K nearest PEs), which is the standard
+//! region-pruning of published ILP/SAT mapping formulations. The
+//! compatibility predicate (`slack ≥ hop distance`) is necessary but
+//! not sufficient for routability; register congestion is handled by
+//! the CEGAR loop (route, and on failure block the exact placement and
+//! re-solve).
+
+use crate::mapping::{Mapping, Placement};
+use crate::route::route_all;
+use cgra_arch::{Fabric, PeId};
+use cgra_ir::{graph, Dfg, OpKind};
+
+/// A candidate `(pe, time)` pair.
+pub(crate) type Pos = (PeId, u32);
+
+/// Candidate positions per operation at a fixed II.
+pub(crate) struct PositionSpace {
+    #[allow(dead_code)]
+    pub ii: u32,
+    pub positions: Vec<Vec<Pos>>,
+}
+
+impl PositionSpace {
+    /// Build the space: times in `[asap, routed-asap + window_iis·ii]`,
+    /// all capability-feasible PEs, optionally capped to `cap`
+    /// candidates per op.
+    ///
+    /// The upper bound uses a *routing-aware* ASAP (every edge charged
+    /// latency + one hop), because consecutive operations on distinct
+    /// PEs need at least one move cycle each — without the allowance,
+    /// low-II windows cannot hold any placement whose chain actually
+    /// crosses the fabric. The cap keeps a spread across time layers
+    /// (round-robin by cycle, centre-most PEs first) rather than only
+    /// the earliest cycles.
+    pub fn build(
+        dfg: &Dfg,
+        fabric: &Fabric,
+        ii: u32,
+        window_iis: u32,
+        cap: Option<usize>,
+    ) -> Self {
+        let lat = |op: OpKind| fabric.latency_of(op);
+        let asap = graph::asap(dfg, &lat);
+        let lat_hop = |op: OpKind| fabric.latency_of(op) + 1;
+        let asap_routed = graph::asap(dfg, &lat_hop);
+        let positions = dfg
+            .node_ids()
+            .map(|n| {
+                let op = dfg.op(n);
+                let t0 = asap[n.index()];
+                let t1 = asap_routed[n.index()] + window_iis * ii;
+                let mut layers: Vec<Vec<Pos>> = Vec::new();
+                for t in t0..=t1 {
+                    let mut layer: Vec<Pos> = fabric
+                        .pe_ids()
+                        .filter(|&pe| fabric.supports(pe, op))
+                        .map(|pe| (pe, t))
+                        .collect();
+                    layer.sort_by_key(|&(pe, _)| {
+                        let (r, c) = fabric.coords(pe);
+                        let centre = (r as i32 - fabric.rows as i32 / 2).abs()
+                            + (c as i32 - fabric.cols as i32 / 2).abs();
+                        (centre, pe.0)
+                    });
+                    layers.push(layer);
+                }
+                match cap {
+                    None => layers.into_iter().flatten().collect(),
+                    Some(cap) => {
+                        // Round-robin across time layers.
+                        let mut list = Vec::with_capacity(cap);
+                        let mut idx = 0usize;
+                        while list.len() < cap {
+                            let mut any = false;
+                            for layer in &layers {
+                                if let Some(&pos) = layer.get(idx) {
+                                    list.push(pos);
+                                    any = true;
+                                    if list.len() == cap {
+                                        break;
+                                    }
+                                }
+                            }
+                            if !any {
+                                break;
+                            }
+                            idx += 1;
+                        }
+                        list
+                    }
+                }
+            })
+            .collect();
+        PositionSpace { ii, positions }
+    }
+
+    /// Total number of (op, position) pairs.
+    #[allow(dead_code)]
+    pub fn size(&self) -> usize {
+        self.positions.iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Can edge `e` connect a producer at `a` to a consumer at `b`?
+/// (Latency + hop-distance feasibility on the TEC.)
+pub(crate) fn edge_compatible(
+    fabric: &Fabric,
+    hop: &[Vec<u32>],
+    ii: u32,
+    src_op: OpKind,
+    dist: u32,
+    a: Pos,
+    b: Pos,
+) -> bool {
+    let tr = a.1 + fabric.latency_of(src_op);
+    let tc = b.1 + ii * dist;
+    tc >= tr && hop[a.0.index()][b.0.index()] <= tc - tr
+}
+
+/// Route a chosen placement; `None` if the router cannot realise it.
+pub(crate) fn realise(
+    dfg: &Dfg,
+    fabric: &Fabric,
+    ii: u32,
+    chosen: &[Pos],
+) -> Option<Mapping> {
+    let place: Vec<Placement> = chosen
+        .iter()
+        .map(|&(pe, time)| Placement { pe, time })
+        .collect();
+    let routes = route_all(fabric, dfg, &place, ii, 12, true)?;
+    Some(Mapping { ii, place, routes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_arch::Topology;
+    use cgra_ir::kernels;
+
+    #[test]
+    fn position_space_shapes() {
+        let dfg = kernels::dot_product();
+        let f = Fabric::homogeneous(4, 4, Topology::Mesh);
+        let ps = PositionSpace::build(&dfg, &f, 2, 1, None);
+        assert_eq!(ps.positions.len(), dfg.node_count());
+        for (o, positions) in ps.positions.iter().enumerate() {
+            assert!(!positions.is_empty(), "op {o} has no candidates");
+            // Windows include the routing allowance: deeper ops see
+            // strictly later maximum times.
+            let times: Vec<u32> = positions.iter().map(|&(_, t)| t).collect();
+            assert!(times.iter().max() > times.iter().min() || dfg.node_count() == 1);
+        }
+        let capped = PositionSpace::build(&dfg, &f, 2, 1, Some(10));
+        assert!(capped.positions.iter().all(|p| p.len() == 10));
+        assert!(capped.size() <= ps.size());
+        // The cap must keep a spread of time layers, not just the
+        // earliest cycles.
+        for positions in &capped.positions {
+            let distinct_times: std::collections::HashSet<u32> =
+                positions.iter().map(|&(_, t)| t).collect();
+            assert!(distinct_times.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_positions_respect_caps() {
+        let dfg = kernels::dot_product();
+        let f = Fabric::adres_like(4, 4);
+        let ps = PositionSpace::build(&dfg, &f, 2, 1, None);
+        // The mul (node 2) may only use even columns.
+        for &(pe, _) in &ps.positions[2] {
+            let (_, c) = f.coords(pe);
+            assert_eq!(c % 2, 0);
+        }
+    }
+
+    #[test]
+    fn compatibility_is_hop_and_latency() {
+        let f = Fabric::homogeneous(4, 4, Topology::Mesh);
+        let hop = f.hop_distance();
+        // pe0 -> pe3 is 3 hops.
+        let src = OpKind::Add;
+        assert!(edge_compatible(&f, &hop, 4, src, 0, (PeId(0), 0), (PeId(3), 4)));
+        assert!(!edge_compatible(&f, &hop, 4, src, 0, (PeId(0), 0), (PeId(3), 2)));
+        // Carried edge at dist 1 gains ii cycles of slack.
+        assert!(edge_compatible(&f, &hop, 4, src, 1, (PeId(0), 0), (PeId(3), 0)));
+        // Consumption before ready is never compatible.
+        assert!(!edge_compatible(&f, &hop, 4, src, 0, (PeId(0), 5), (PeId(0), 3)));
+    }
+}

@@ -1,0 +1,200 @@
+//! Genetic-algorithm mapping (GenMap lineage — Kojima et al., IEEE
+//! TVLSI 2020).
+//!
+//! The chromosome is the binding vector (one PE gene per operation).
+//! Tournament selection, uniform crossover, per-gene mutation to a
+//! random capability-feasible PE, elitism, and a fitness that rewards
+//! schedulability first and wirelength second (GenMap optimises
+//! energy ∝ wirelength under its mapping-feasibility constraint).
+//! Population fitness is evaluated in parallel with rayon.
+
+use super::meta_common::{eval_binding, finish_binding, legal_schedule, random_binding};
+use crate::mapper::{Family, MapConfig, MapError, Mapper};
+use crate::mapping::Mapping;
+use cgra_arch::{Fabric, PeId};
+use cgra_ir::Dfg;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// The GA mapper.
+#[derive(Debug, Clone)]
+pub struct Genetic {
+    pub population: usize,
+    pub generations: u32,
+    pub tournament: usize,
+    /// Per-gene mutation probability (per mille).
+    pub mutation_pm: u32,
+    pub elitism: usize,
+}
+
+impl Default for Genetic {
+    fn default() -> Self {
+        Genetic {
+            population: 36,
+            generations: 48,
+            tournament: 3,
+            mutation_pm: 60,
+            elitism: 2,
+        }
+    }
+}
+
+impl Genetic {
+    fn evolve(
+        &self,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        hop: &[Vec<u32>],
+        ii: u32,
+        seed: u64,
+        deadline: Instant,
+    ) -> Vec<(u64, Vec<PeId>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = dfg.node_count();
+        let feasible: Vec<Vec<PeId>> = dfg
+            .node_ids()
+            .map(|id| {
+                fabric
+                    .pe_ids()
+                    .filter(|&pe| fabric.supports(pe, dfg.op(id)))
+                    .collect()
+            })
+            .collect();
+
+        let mut pop: Vec<Vec<PeId>> = (0..self.population.max(4))
+            .map(|_| random_binding(dfg, fabric, &mut rng))
+            .collect();
+        let mut scored: Vec<(u64, Vec<PeId>)> = Vec::new();
+
+        for _gen in 0..self.generations {
+            if Instant::now() > deadline {
+                break;
+            }
+            scored = pop
+                .par_iter()
+                .map(|b| (eval_binding(dfg, fabric, hop, b, ii).cost, b.clone()))
+                .collect();
+            scored.sort_by_key(|(c, _)| *c);
+
+            let mut next: Vec<Vec<PeId>> =
+                scored.iter().take(self.elitism).map(|(_, b)| b.clone()).collect();
+            while next.len() < pop.len() {
+                // Tournament selection of two parents.
+                let pick = |rng: &mut StdRng| -> &Vec<PeId> {
+                    let mut best: Option<&(u64, Vec<PeId>)> = None;
+                    for _ in 0..self.tournament.max(1) {
+                        let c = &scored[rng.random_range(0..scored.len())];
+                        if best.map(|b| c.0 < b.0).unwrap_or(true) {
+                            best = Some(c);
+                        }
+                    }
+                    &best.unwrap().1
+                };
+                let pa = pick(&mut rng).clone();
+                let pb = pick(&mut rng).clone();
+                // Uniform crossover + mutation.
+                let mut child = Vec::with_capacity(n);
+                for i in 0..n {
+                    let gene = if rng.random::<bool>() { pa[i] } else { pb[i] };
+                    let gene = if rng.random_range(0..1000) < self.mutation_pm
+                        && !feasible[i].is_empty()
+                    {
+                        feasible[i][rng.random_range(0..feasible[i].len())]
+                    } else {
+                        gene
+                    };
+                    child.push(gene);
+                }
+                next.push(child);
+            }
+            pop = next;
+        }
+        if scored.is_empty() {
+            scored = pop
+                .par_iter()
+                .map(|b| (eval_binding(dfg, fabric, hop, b, ii).cost, b.clone()))
+                .collect();
+            scored.sort_by_key(|(c, _)| *c);
+        }
+        scored
+    }
+}
+
+impl Mapper for Genetic {
+    fn name(&self) -> &'static str {
+        "ga"
+    }
+
+    fn family(&self) -> Family {
+        Family::MetaPopulation
+    }
+
+    fn map(&self, dfg: &Dfg, fabric: &Fabric, cfg: &MapConfig) -> Result<Mapping, MapError> {
+        dfg.validate()
+            .map_err(|e| MapError::Unsupported(e.to_string()))?;
+        let mii = super::ModuloList::mii(dfg, fabric);
+        if mii == u32::MAX {
+            return Err(MapError::Infeasible(
+                "fabric lacks a required resource class".into(),
+            ));
+        }
+        let max_ii = cfg.max_ii.min(fabric.context_depth);
+        if mii > max_ii {
+            return Err(MapError::Infeasible(format!(
+                "MII {mii} exceeds the II bound {max_ii}"
+            )));
+        }
+        let hop = fabric.hop_distance();
+        let deadline = Instant::now() + cfg.time_limit;
+
+        for ii in mii..=max_ii {
+            let scored = self.evolve(dfg, fabric, &hop, ii, cfg.seed ^ ii as u64, deadline);
+            for (_, binding) in scored.into_iter().take(3) {
+                if let Some(times) = legal_schedule(dfg, fabric, &hop, &binding, ii) {
+                    if let Some(m) = finish_binding(dfg, fabric, &binding, &times, ii) {
+                        return Ok(m);
+                    }
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(MapError::Timeout);
+            }
+        }
+        Err(MapError::Infeasible(format!(
+            "no routable individual in II {mii}..={max_ii}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::validate::validate;
+    use cgra_arch::Topology;
+    use cgra_ir::kernels;
+
+    #[test]
+    fn evolves_small_kernels() {
+        let f = Fabric::homogeneous(4, 4, Topology::Mesh);
+        for dfg in kernels::small_suite() {
+            let m = Genetic::default()
+                .map(&dfg, &f, &MapConfig::fast())
+                .unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
+            validate(&m, &dfg, &f).unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
+        }
+    }
+
+    #[test]
+    fn fitness_pressure_shortens_wires() {
+        // GA's wirelength objective should not produce absurdly long
+        // routes on a kernel with an obvious linear layout.
+        let f = Fabric::homogeneous(4, 4, Topology::Mesh);
+        let dfg = kernels::accumulate();
+        let m = Genetic::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let met = Metrics::of(&m, &dfg, &f);
+        assert!(met.route_hops <= 8, "hops {}", met.route_hops);
+    }
+}

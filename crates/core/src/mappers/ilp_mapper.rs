@@ -1,0 +1,223 @@
+//! ILP mapping (architecture-agnostic formulation lineage — Chin &
+//! Anderson DAC 2018, Guo et al. DAC 2021).
+//!
+//! Binary variables select one candidate `(pe, cycle)` position per
+//! operation; linear constraints enforce the assignment, per-`(pe,
+//! slot)` exclusivity, and per-edge reachability (an implication row
+//! per producer position). The 0/1 branch-and-bound solver
+//! ([`cgra_solver::IlpModel`]) proves optimality of the objective
+//! (earliest schedule, shortest wires) within the candidate space; a
+//! CEGAR loop handles register congestion the linear model cannot see.
+
+use super::exact_common::{edge_compatible, realise, PositionSpace};
+use crate::mapper::{Family, MapConfig, MapError, Mapper};
+use crate::mapping::Mapping;
+use cgra_arch::{Fabric, PeId};
+use cgra_ir::Dfg;
+use cgra_solver::{Cmp, IlpModel, IlpResult, IlpVar};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The ILP mapper.
+#[derive(Debug, Clone)]
+pub struct IlpMapper {
+    /// Candidate positions per op (keeps the dense simplex tractable).
+    pub position_cap: usize,
+    pub cegar_rounds: u32,
+    pub window_iis: u32,
+}
+
+impl Default for IlpMapper {
+    fn default() -> Self {
+        IlpMapper {
+            position_cap: 12,
+            cegar_rounds: 8,
+            window_iis: 1,
+        }
+    }
+}
+
+impl IlpMapper {
+    fn try_ii(
+        &self,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        ii: u32,
+        hop: &[Vec<u32>],
+        deadline: Instant,
+    ) -> Result<Option<Mapping>, MapError> {
+        let space =
+            PositionSpace::build(dfg, fabric, ii, self.window_iis, Some(self.position_cap));
+        let mut blocked: Vec<Vec<(PeId, u32)>> = Vec::new();
+
+        for _ in 0..self.cegar_rounds.max(1) {
+            if Instant::now() > deadline {
+                return Err(MapError::Timeout);
+            }
+            let mut model = IlpModel::new(false); // minimise
+            let vars: Vec<Vec<IlpVar>> = space
+                .positions
+                .iter()
+                .map(|ps| {
+                    ps.iter()
+                        .map(|&(pe, t)| {
+                            // Objective: early issue + central placement.
+                            let (r, c) = fabric.coords(pe);
+                            let centre = (r as i32 - fabric.rows as i32 / 2).abs()
+                                + (c as i32 - fabric.cols as i32 / 2).abs();
+                            model.add_var(t as f64 + centre as f64 * 0.1)
+                        })
+                        .collect()
+                })
+                .collect();
+
+            for (o, ovars) in vars.iter().enumerate() {
+                if ovars.is_empty() {
+                    return Ok(None);
+                }
+                let _ = o;
+                model.exactly_one(ovars);
+            }
+
+            let mut by_slot: HashMap<(PeId, u32), Vec<IlpVar>> = HashMap::new();
+            for (o, ps) in space.positions.iter().enumerate() {
+                for (k, &(pe, t)) in ps.iter().enumerate() {
+                    by_slot.entry((pe, t % ii)).or_default().push(vars[o][k]);
+                }
+            }
+            for slot_vars in by_slot.values() {
+                if slot_vars.len() > 1 {
+                    model.at_most_one(slot_vars);
+                }
+            }
+
+            // Edge reachability: x_src_a ≤ Σ compatible x_dst_b.
+            for (_, e) in dfg.edges() {
+                let src_op = dfg.op(e.src);
+                for (ka, &a) in space.positions[e.src.index()].iter().enumerate() {
+                    let mut row: Vec<(IlpVar, f64)> = vec![(vars[e.src.index()][ka], 1.0)];
+                    for (kb, &b) in space.positions[e.dst.index()].iter().enumerate() {
+                        if e.src == e.dst && ka != kb {
+                            continue;
+                        }
+                        if edge_compatible(fabric, hop, ii, src_op, e.dist, a, b) {
+                            row.push((vars[e.dst.index()][kb], -1.0));
+                        }
+                    }
+                    model.add_constraint(&row, Cmp::Le, 0.0);
+                }
+            }
+
+            // CEGAR blocking rows: a previously failed placement may
+            // not be fully re-selected (sum of its choices ≤ n-1).
+            for bl in &blocked {
+                let mut row: Vec<(IlpVar, f64)> = Vec::new();
+                for (o, &pos) in bl.iter().enumerate() {
+                    if let Some(k) = space.positions[o].iter().position(|&p| p == pos) {
+                        row.push((vars[o][k], 1.0));
+                    }
+                }
+                model.add_constraint(&row, Cmp::Le, bl.len() as f64 - 1.0);
+            }
+
+            let result = model.solve_with(cgra_solver::ilp::IlpConfig {
+                time_limit: deadline.saturating_duration_since(Instant::now()),
+                node_limit: 4_000,
+            });
+            let values = match result {
+                IlpResult::Optimal { values, .. } => values,
+                IlpResult::Infeasible => return Ok(None),
+                IlpResult::Budget { values: Some(v), .. } => v,
+                IlpResult::Budget { values: None, .. } => return Err(MapError::Timeout),
+            };
+            // Decode.
+            let mut chosen: Vec<(PeId, u32)> = Vec::with_capacity(dfg.node_count());
+            let mut var_index = 0usize;
+            for ps in &space.positions {
+                let mut pick = None;
+                for (k, &pos) in ps.iter().enumerate() {
+                    if values[var_index + k] {
+                        pick = Some(pos);
+                    }
+                }
+                var_index += ps.len();
+                match pick {
+                    Some(p) => chosen.push(p),
+                    None => return Ok(None), // should not happen
+                }
+            }
+            if let Some(m) = realise(dfg, fabric, ii, &chosen) {
+                return Ok(Some(m));
+            }
+            blocked.push(chosen);
+        }
+        Ok(None)
+    }
+}
+
+impl Mapper for IlpMapper {
+    fn name(&self) -> &'static str {
+        "ilp"
+    }
+
+    fn family(&self) -> Family {
+        Family::ExactIlp
+    }
+
+    fn map(&self, dfg: &Dfg, fabric: &Fabric, cfg: &MapConfig) -> Result<Mapping, MapError> {
+        dfg.validate()
+            .map_err(|e| MapError::Unsupported(e.to_string()))?;
+        let mii = super::ModuloList::mii(dfg, fabric);
+        if mii == u32::MAX {
+            return Err(MapError::Infeasible(
+                "fabric lacks a required resource class".into(),
+            ));
+        }
+        let max_ii = cfg.max_ii.min(fabric.context_depth);
+        if mii > max_ii {
+            return Err(MapError::Infeasible(format!(
+                "MII {mii} exceeds the II bound {max_ii}"
+            )));
+        }
+        let hop = fabric.hop_distance();
+        let deadline = Instant::now() + cfg.time_limit;
+        for ii in mii..=max_ii {
+            match self.try_ii(dfg, fabric, ii, &hop, deadline) {
+                Ok(Some(m)) => return Ok(m),
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Err(MapError::Infeasible(format!(
+            "ILP infeasible for every II in {mii}..={max_ii} (candidate window)"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use cgra_arch::Topology;
+    use cgra_ir::kernels;
+
+    #[test]
+    fn ilp_maps_tiny_kernels() {
+        let f = Fabric::homogeneous(3, 3, Topology::Mesh);
+        for dfg in [kernels::dot_product(), kernels::accumulate()] {
+            let m = IlpMapper::default()
+                .map(&dfg, &f, &MapConfig::fast())
+                .unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
+            validate(&m, &dfg, &f).unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
+        }
+    }
+
+    #[test]
+    fn ilp_objective_prefers_early_schedules() {
+        let f = Fabric::homogeneous(3, 3, Topology::Mesh);
+        let dfg = kernels::accumulate();
+        let m = IlpMapper::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        // Minimising Σt keeps the 3-op chain tight.
+        assert!(m.schedule_len(&dfg, &f) <= 6);
+    }
+}

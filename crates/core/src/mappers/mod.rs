@@ -1,0 +1,81 @@
+//! All mapping techniques, one module per Table I lineage.
+//!
+//! Every mapper implements [`crate::Mapper`] and returns mappings that
+//! pass [`crate::validate::validate`]. See the crate docs for the
+//! family ↔ mapper table.
+
+mod bnb;
+pub(crate) mod exact_common;
+pub(crate) mod meta_common;
+pub(crate) mod state;
+mod cp_mapper;
+mod edge_centric;
+mod epimap;
+mod ga;
+mod graph_drawing;
+mod graph_minor;
+mod himap;
+mod ilp_mapper;
+mod modulo_list;
+mod qea;
+mod ramp;
+mod sa;
+mod sat_mapper;
+mod smt_mapper;
+mod spatial_greedy;
+
+pub use bnb::BranchAndBound;
+pub use cp_mapper::CpMapper;
+pub use edge_centric::EdgeCentric;
+pub use epimap::EpiMap;
+pub use ga::Genetic;
+pub use graph_drawing::GraphDrawing;
+pub use graph_minor::GraphMinor;
+pub use himap::HiMap;
+pub use ilp_mapper::IlpMapper;
+pub use modulo_list::{IiSearch, ModuloList};
+pub use qea::Qea;
+pub use ramp::Ramp;
+pub use sa::{Cooling, SimulatedAnnealing};
+pub use sat_mapper::SatMapper;
+pub use smt_mapper::SmtMapper;
+pub use spatial_greedy::SpatialGreedy;
+
+use crate::mapper::Mapper;
+
+/// Every mapper at default settings — the Table I experiment portfolio.
+pub fn all_mappers() -> Vec<Box<dyn Mapper>> {
+    vec![
+        Box::new(SpatialGreedy::default()),
+        Box::new(GraphDrawing::default()),
+        Box::new(ModuloList::default()),
+        Box::new(EdgeCentric::default()),
+        Box::new(EpiMap::default()),
+        Box::new(Ramp::default()),
+        Box::new(HiMap::default()),
+        Box::new(GraphMinor::default()),
+        Box::new(SimulatedAnnealing::default()),
+        Box::new(Genetic::default()),
+        Box::new(Qea::default()),
+        Box::new(IlpMapper::default()),
+        Box::new(BranchAndBound::default()),
+        Box::new(CpMapper::default()),
+        Box::new(SatMapper::default()),
+        Box::new(SmtMapper::default()),
+    ]
+}
+
+/// The fast heuristic subset (used where exact mappers would blow the
+/// budget).
+pub fn heuristic_mappers() -> Vec<Box<dyn Mapper>> {
+    vec![
+        Box::new(SpatialGreedy::default()),
+        Box::new(GraphDrawing::default()),
+        Box::new(ModuloList::default()),
+        Box::new(EdgeCentric::default()),
+        Box::new(EpiMap::default()),
+        Box::new(Ramp::default()),
+        Box::new(HiMap::default()),
+        Box::new(GraphMinor::default()),
+    ]
+}

@@ -1,0 +1,311 @@
+//! Modulo list scheduling with integrated place-and-route — the
+//! DRESC-lineage workhorse (Rau's iterative modulo scheduling adapted
+//! to CGRAs; Mei et al. FPT'02, De Sutter et al.).
+//!
+//! For each candidate II starting at the MII, operations are scheduled
+//! in height-priority order. Each operation scans a time window from
+//! its earliest start and, per cycle, the capability-feasible PEs
+//! nearest its placed neighbours; the first `(pe, t)` where every edge
+//! to already-placed operations routes, wins. If any operation
+//! exhausts its window, the II is bumped — the classic "increase II
+//! until it fits" loop of the survey's modulo-scheduling section.
+
+use super::state::SchedState;
+use crate::mapper::{Family, MapConfig, MapError, Mapper};
+use crate::mapping::Mapping;
+use cgra_arch::Fabric;
+use cgra_ir::graph;
+use cgra_ir::{Dfg, NodeId, OpKind};
+use std::time::Instant;
+
+/// How the II space is searched — an ablation axis (DESIGN.md §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IiSearch {
+    /// Bottom-up from MII (guarantees minimal II among found).
+    #[default]
+    BottomUp,
+    /// Binary search between MII and `max_ii` (fewer, bigger probes).
+    Binary,
+}
+
+/// The modulo list scheduler.
+#[derive(Debug, Clone)]
+pub struct ModuloList {
+    pub ii_search: IiSearch,
+    /// Cap on candidate PEs per (op, cycle) probe.
+    pub pe_candidates: usize,
+    /// Time window length in IIs.
+    pub window_iis: u32,
+}
+
+impl Default for ModuloList {
+    fn default() -> Self {
+        ModuloList {
+            ii_search: IiSearch::BottomUp,
+            pe_candidates: 24,
+            window_iis: 3,
+        }
+    }
+}
+
+impl ModuloList {
+    /// Compute the MII for `dfg` on `fabric`.
+    pub fn mii(dfg: &Dfg, fabric: &Fabric) -> u32 {
+        let (alu, mul, mem, io) = fabric.slot_counts();
+        let lat = |op: OpKind| fabric.latency_of(op);
+        let io_ops = dfg
+            .nodes()
+            .filter(|(_, n)| matches!(n.op, OpKind::Input(_) | OpKind::Output(_)))
+            .count();
+        let io_mii = if io == 0 && io_ops > 0 {
+            u32::MAX
+        } else if io_ops > 0 {
+            (io_ops as u32).div_ceil(io as u32).max(1)
+        } else {
+            1
+        };
+        graph::mii(dfg, &lat, alu, mul, mem).max(io_mii)
+    }
+
+    /// Attempt one II. Returns the mapping on success.
+    pub fn try_ii(
+        &self,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        ii: u32,
+        hop: &[Vec<u32>],
+        deadline: Instant,
+    ) -> Option<Mapping> {
+        let mut state = SchedState::new(dfg, fabric, ii, hop);
+        let lat = |op: OpKind| fabric.latency_of(op);
+        let height = graph::height(dfg, &lat);
+        let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
+        // Stable height-descending priority within topological order.
+        order.sort_by_key(|n| std::cmp::Reverse(height[n.index()]));
+
+        for &n in &order {
+            if Instant::now() > deadline {
+                return None;
+            }
+            let est = state.est(n);
+            let lst = state.lst(n);
+            let window_end = match lst {
+                Some(l) => l.min(est + self.window_iis * ii),
+                None => est + self.window_iis * ii,
+            };
+            if window_end < est {
+                return None;
+            }
+            let mut placed = false;
+            't: for t in est..=window_end {
+                for pe in state.candidate_pes(n, self.pe_candidates) {
+                    if state.try_place(n, pe, t) {
+                        placed = true;
+                        break 't;
+                    }
+                }
+            }
+            if !placed {
+                return None;
+            }
+        }
+        state.into_mapping()
+    }
+}
+
+impl Mapper for ModuloList {
+    fn name(&self) -> &'static str {
+        "modulo-list"
+    }
+
+    fn family(&self) -> Family {
+        Family::Heuristic
+    }
+
+    fn map(&self, dfg: &Dfg, fabric: &Fabric, cfg: &MapConfig) -> Result<Mapping, MapError> {
+        dfg.validate()
+            .map_err(|e| MapError::Unsupported(e.to_string()))?;
+        let mii = Self::mii(dfg, fabric);
+        if mii == u32::MAX {
+            return Err(MapError::Infeasible(
+                "fabric lacks a required resource class".into(),
+            ));
+        }
+        let max_ii = cfg.max_ii.min(fabric.context_depth);
+        if mii > max_ii {
+            return Err(MapError::Infeasible(format!(
+                "MII {mii} exceeds the II bound {max_ii}"
+            )));
+        }
+        let hop = fabric.hop_distance();
+        let deadline = Instant::now() + cfg.time_limit;
+
+        match self.ii_search {
+            IiSearch::BottomUp => {
+                for ii in mii..=max_ii {
+                    if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline) {
+                        return Ok(m);
+                    }
+                    if Instant::now() > deadline {
+                        return Err(MapError::Timeout);
+                    }
+                }
+                Err(MapError::Infeasible(format!(
+                    "no II in {mii}..={max_ii} admits a schedule"
+                )))
+            }
+            IiSearch::Binary => {
+                // Feasibility is not monotone for greedy list scheduling,
+                // but binary search is still the classic fast probe: find
+                // the smallest II in the probe set that succeeds.
+                let (mut lo, mut hi) = (mii, max_ii);
+                let mut best: Option<Mapping> = None;
+                while lo <= hi {
+                    let mid = lo + (hi - lo) / 2;
+                    match self.try_ii(dfg, fabric, mid, &hop, deadline) {
+                        Some(m) => {
+                            best = Some(m);
+                            if mid == 0 {
+                                break;
+                            }
+                            hi = mid.saturating_sub(1);
+                            if hi < lo {
+                                break;
+                            }
+                        }
+                        None => {
+                            lo = mid + 1;
+                        }
+                    }
+                    if Instant::now() > deadline {
+                        break;
+                    }
+                }
+                best.ok_or(MapError::Infeasible(format!(
+                    "no II in {mii}..={max_ii} admits a schedule"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use cgra_arch::Topology;
+    use cgra_ir::kernels;
+
+    fn mesh() -> Fabric {
+        Fabric::homogeneous(4, 4, Topology::Mesh)
+    }
+
+    #[test]
+    fn maps_dot_product_at_low_ii() {
+        let dfg = kernels::dot_product();
+        let f = mesh();
+        let m = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
+        validate(&m, &dfg, &f).unwrap();
+        assert!(m.ii <= 2, "II {} too large for a 5-op kernel", m.ii);
+    }
+
+    #[test]
+    fn maps_entire_suite_on_4x4() {
+        let f = mesh();
+        for dfg in kernels::suite() {
+            let m = ModuloList::default()
+                .map(&dfg, &f, &MapConfig::fast())
+                .unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
+            validate(&m, &dfg, &f).unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
+        }
+    }
+
+    #[test]
+    fn respects_recurrence_mii() {
+        let dfg = kernels::iir1();
+        let f = mesh();
+        let m = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
+        // RecMII of iir1 under unit latency is 3.
+        assert!(m.ii >= 3);
+    }
+
+    #[test]
+    fn heterogeneous_fabric_constrains_muls() {
+        let dfg = kernels::fft_butterfly();
+        let f = Fabric::adres_like(4, 4);
+        let m = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
+        validate(&m, &dfg, &f).unwrap();
+        // Every multiplier op must sit on an even column.
+        for (id, node) in dfg.nodes() {
+            if node.op.needs_multiplier() {
+                let (_, c) = f.coords(m.placement(id).pe);
+                assert_eq!(c % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_when_mii_exceeds_bound() {
+        let dfg = kernels::unrolled_mac(40); // 160+ ops on 4 PEs
+        let mut f = Fabric::homogeneous(2, 2, Topology::Mesh);
+        f.context_depth = 4; // max II 4: ResMII is far larger
+        let err = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap_err();
+        assert!(matches!(err, MapError::Infeasible(_)));
+    }
+
+    #[test]
+    fn binary_search_also_succeeds() {
+        let dfg = kernels::fir(4);
+        let f = mesh();
+        let m = ModuloList {
+            ii_search: IiSearch::Binary,
+            ..Default::default()
+        }
+        .map(&dfg, &f, &MapConfig::fast())
+        .unwrap();
+        validate(&m, &dfg, &f).unwrap();
+    }
+
+    #[test]
+    fn multi_cycle_latency_model() {
+        let dfg = kernels::iir1();
+        let mut f = mesh();
+        f.latency = cgra_arch::LatencyModel::multi_cycle();
+        let m = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
+        validate(&m, &dfg, &f).unwrap();
+        // Recurrence mul(2) + shr(1) + add(1) = 4.
+        assert!(m.ii >= 4);
+    }
+
+    #[test]
+    fn mii_accounts_for_io_ports() {
+        use cgra_ir::{Dfg, OpKind};
+        // 3 I/O ops against a single I/O-capable cell force II >= 3.
+        let mut f = Fabric::homogeneous(2, 2, Topology::Mesh);
+        for pe in 1..4 {
+            f.cells[pe].io = false;
+        }
+        let mut g = Dfg::new("io3");
+        let a = g.add_node(OpKind::Input(0));
+        let b = g.add_node(OpKind::Input(1));
+        let s = g.add_node(OpKind::Add);
+        g.connect(a, s, 0);
+        g.connect(b, s, 1);
+        let o = g.add_node(OpKind::Output(0));
+        g.connect(s, o, 0);
+        g.validate().unwrap();
+        assert_eq!(ModuloList::mii(&g, &f), 3);
+        let f2 = Fabric::homogeneous(2, 2, Topology::Mesh);
+        assert_eq!(ModuloList::mii(&g, &f2), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! The mapper portfolio: run many mappers over many kernels (in
+//! parallel) and collect the rows of the Table I experiment.
+
+use crate::mapper::{Family, MapConfig, Mapper};
+use crate::metrics::Metrics;
+use crate::validate::validate;
+use cgra_arch::Fabric;
+use cgra_ir::Dfg;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One (mapper, kernel) outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortfolioEntry {
+    pub mapper: String,
+    pub family_label: String,
+    pub exact: bool,
+    pub spatial: bool,
+    pub kernel: String,
+    /// `Some(metrics)` on success (and validation), `None` on failure.
+    pub metrics: Option<Metrics>,
+    pub error: Option<String>,
+    pub compile_ms: f64,
+}
+
+impl PortfolioEntry {
+    pub fn succeeded(&self) -> bool {
+        self.metrics.is_some()
+    }
+}
+
+/// Run every mapper on every kernel. Mapper outputs are validated; a
+/// mapper returning an invalid mapping is recorded as an error (this
+/// is the framework's no-invalid-output guarantee surfacing in the
+/// data rather than a panic).
+pub fn run_portfolio(
+    mappers: &[Box<dyn Mapper>],
+    kernels: &[Dfg],
+    fabric: &Fabric,
+    cfg: &MapConfig,
+) -> Vec<PortfolioEntry> {
+    let jobs: Vec<(usize, usize)> = (0..mappers.len())
+        .flat_map(|m| (0..kernels.len()).map(move |k| (m, k)))
+        .collect();
+    jobs.par_iter()
+        .map(|&(mi, ki)| {
+            let mapper = &mappers[mi];
+            let kernel = &kernels[ki];
+            let start = Instant::now();
+            let result = mapper.map(kernel, fabric, cfg);
+            let compile_ms = start.elapsed().as_secs_f64() * 1e3;
+            let (metrics, error) = match result {
+                Ok(m) => match validate(&m, kernel, fabric) {
+                    Ok(()) => (Some(Metrics::of(&m, kernel, fabric)), None),
+                    Err(e) => (None, Some(format!("INVALID OUTPUT: {e}"))),
+                },
+                Err(e) => (None, Some(e.to_string())),
+            };
+            PortfolioEntry {
+                mapper: mapper.name().to_string(),
+                family_label: mapper.family().label().to_string(),
+                exact: mapper.family().is_exact(),
+                spatial: mapper.is_spatial(),
+                kernel: kernel.name.clone(),
+                metrics,
+                error,
+                compile_ms,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate rows per mapper: success rate, mean II among successes,
+/// mean compile time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MapperSummary {
+    pub mapper: String,
+    pub family_label: String,
+    pub exact: bool,
+    pub spatial: bool,
+    pub attempts: usize,
+    pub successes: usize,
+    pub mean_ii: Option<f64>,
+    pub mean_compile_ms: f64,
+    pub mean_hops: Option<f64>,
+}
+
+/// Summarise portfolio entries per mapper (insertion order preserved).
+pub fn summarise(entries: &[PortfolioEntry]) -> Vec<MapperSummary> {
+    let mut order: Vec<String> = Vec::new();
+    for e in entries {
+        if !order.contains(&e.mapper) {
+            order.push(e.mapper.clone());
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let group: Vec<&PortfolioEntry> =
+                entries.iter().filter(|e| e.mapper == name).collect();
+            let successes: Vec<&&PortfolioEntry> =
+                group.iter().filter(|e| e.succeeded()).collect();
+            let mean_ii = if successes.is_empty() {
+                None
+            } else {
+                Some(
+                    successes
+                        .iter()
+                        .map(|e| e.metrics.as_ref().unwrap().ii as f64)
+                        .sum::<f64>()
+                        / successes.len() as f64,
+                )
+            };
+            let mean_hops = if successes.is_empty() {
+                None
+            } else {
+                Some(
+                    successes
+                        .iter()
+                        .map(|e| e.metrics.as_ref().unwrap().route_hops as f64)
+                        .sum::<f64>()
+                        / successes.len() as f64,
+                )
+            };
+            MapperSummary {
+                mean_hops,
+                family_label: group[0].family_label.clone(),
+                exact: group[0].exact,
+                spatial: group[0].spatial,
+                attempts: group.len(),
+                successes: successes.len(),
+                mean_ii,
+                mean_compile_ms: group.iter().map(|e| e.compile_ms).sum::<f64>()
+                    / group.len() as f64,
+                mapper: name,
+            }
+        })
+        .collect()
+}
+
+/// Convenience: is this family expected to prove optimality (Table I's
+/// exact column)?
+pub fn family_of(name: &str, mappers: &[Box<dyn Mapper>]) -> Option<Family> {
+    mappers
+        .iter()
+        .find(|m| m.name() == name)
+        .map(|m| m.family())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mappers::{ModuloList, SpatialGreedy};
+    use cgra_arch::Topology;
+    use cgra_ir::kernels;
+
+    #[test]
+    fn portfolio_runs_and_summarises() {
+        let mappers: Vec<Box<dyn Mapper>> = vec![
+            Box::new(ModuloList::default()),
+            Box::new(SpatialGreedy::default()),
+        ];
+        let kernels = vec![kernels::dot_product(), kernels::sad()];
+        let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+        let entries = run_portfolio(&mappers, &kernels, &fabric, &MapConfig::fast());
+        assert_eq!(entries.len(), 4);
+        let modulo_ok = entries
+            .iter()
+            .filter(|e| e.mapper == "modulo-list")
+            .all(|e| e.succeeded());
+        assert!(modulo_ok);
+        let summary = summarise(&entries);
+        assert_eq!(summary.len(), 2);
+        let ml = summary.iter().find(|s| s.mapper == "modulo-list").unwrap();
+        assert_eq!(ml.attempts, 2);
+        assert_eq!(ml.successes, 2);
+        assert!(ml.mean_ii.unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn failures_are_recorded_not_panicked() {
+        let mappers: Vec<Box<dyn Mapper>> = vec![Box::new(SpatialGreedy::default())];
+        let kernels = vec![kernels::unrolled_mac(20)]; // too big for 2x2
+        let fabric = Fabric::homogeneous(2, 2, Topology::Mesh);
+        let entries = run_portfolio(&mappers, &kernels, &fabric, &MapConfig::fast());
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].succeeded());
+        assert!(entries[0].error.is_some());
+    }
+}

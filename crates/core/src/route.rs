@@ -1,0 +1,486 @@
+//! Space-time routing: a Dijkstra router over the (PE, cycle) grid and
+//! a PathFinder-style negotiated-congestion loop that routes all edges
+//! of a placed mapping.
+//!
+//! Routing is the FPGA-lineage half of CGRA mapping (the survey's
+//! "historically the meeting point between VLIW compilation and FPGA
+//! place-and-route"): values move one hop per cycle, holding a register
+//! wherever they wait, and competing routes negotiate via history costs
+//! until no resource is over-subscribed.
+
+use crate::mapping::{Mapping, Placement, Route};
+use cgra_arch::{Fabric, PeId, SpaceTime};
+use cgra_ir::Dfg;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Scaled-integer router costs (1 step = `STEP_COST`).
+const STEP_COST: u64 = 100;
+
+/// Congestion history per (pe, slot), used by the PathFinder loop.
+#[derive(Debug, Clone)]
+pub struct History {
+    num_pes: usize,
+    ii: u32,
+    cost: Vec<u64>,
+}
+
+impl History {
+    pub fn new(fabric: &Fabric, ii: u32) -> Self {
+        History {
+            num_pes: fabric.num_pes(),
+            ii,
+            cost: vec![0; fabric.num_pes() * ii as usize],
+        }
+    }
+
+    #[inline]
+    fn get(&self, pe: PeId, t: u32) -> u64 {
+        self.cost[(t % self.ii) as usize * self.num_pes + pe.index()]
+    }
+
+    #[inline]
+    fn bump(&mut self, pe: PeId, t: u32, amount: u64) {
+        self.cost[(t % self.ii) as usize * self.num_pes + pe.index()] += amount;
+    }
+}
+
+/// Options controlling a single-edge route search.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteOpts {
+    /// Penalty per unit of register over-subscription entered.
+    pub congestion_penalty: u64,
+    /// When false, over-subscribed registers are hard-forbidden
+    /// (feasible-only routing); when true they are allowed at a cost
+    /// (negotiation mode).
+    pub allow_overuse: bool,
+}
+
+impl Default for RouteOpts {
+    fn default() -> Self {
+        RouteOpts {
+            congestion_penalty: 3 * STEP_COST,
+            allow_overuse: false,
+        }
+    }
+}
+
+/// Find a cheapest route from `(from, tr)` to `(to, tc)` over the
+/// current occupancy.
+///
+/// `shared` lists `(pe, t)` positions already occupied by the *same
+/// value* (fan-out reuse): entering them is free and never counts as
+/// congestion. Returns `None` when no route exists under the options.
+pub fn find_route(
+    fabric: &Fabric,
+    st: &SpaceTime,
+    from: PeId,
+    tr: u32,
+    to: PeId,
+    tc: u32,
+    shared: &HashSet<(PeId, u32)>,
+    hist: Option<&History>,
+    opts: RouteOpts,
+) -> Option<Route> {
+    if tc < tr {
+        return None;
+    }
+    let span = (tc - tr) as usize + 1;
+    let n = fabric.num_pes();
+    let ii = st.ii();
+
+    // Dijkstra over states (pe, step, run) where `run` is the number of
+    // consecutive cycles spent on `pe` ending at this step. The run
+    // matters because a hold longer than II wraps onto modulo slots the
+    // path itself already occupies: the k-th consecutive cycle on a PE
+    // adds `⌊(k−1)/II⌋` of *self* pressure on its slot, which a router
+    // unaware of it would over-subscribe (the classic II=1 trap).
+    let cap_run = span.min((ii as usize) * fabric.rf_size as usize + 1);
+    let idx = |pe: PeId, step: usize, run: usize| (step * n + pe.index()) * (cap_run + 1) + run;
+    let mut dist = vec![u64::MAX; n * span * (cap_run + 1)];
+    let mut prev: Vec<Option<(PeId, usize)>> = vec![None; n * span * (cap_run + 1)];
+
+    // `own_extra`: how many times this path already occupies the slot
+    // being entered (self-wrap pressure).
+    let enter_cost = |pe: PeId, t: u32, own_extra: u32| -> Option<u64> {
+        if shared.contains(&(pe, t)) {
+            return Some(0); // value already stored here by a sibling edge
+        }
+        let headroom = st.reg_headroom(pe, t);
+        let mut c = STEP_COST;
+        if headroom < own_extra + 1 {
+            if !opts.allow_overuse {
+                return None;
+            }
+            c += opts.congestion_penalty * (st.reg_count(pe, t) as u64 + own_extra as u64 + 1);
+        }
+        if let Some(h) = hist {
+            c += h.get(pe, t);
+        }
+        Some(c)
+    };
+
+    // The producer's output register at (from, tr) is charged too —
+    // the value must exist there.
+    let start_cost = enter_cost(from, tr, 0)?;
+    dist[idx(from, 0, 1)] = start_cost;
+
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u16, usize, usize)>> = BinaryHeap::new();
+    heap.push(std::cmp::Reverse((start_cost, from.0, 0, 1)));
+    while let Some(std::cmp::Reverse((d, pe_raw, step, run))) = heap.pop() {
+        let pe = PeId(pe_raw);
+        if d > dist[idx(pe, step, run)] {
+            continue;
+        }
+        if step + 1 == span {
+            continue; // final cycle reached; no further moves
+        }
+        let t_next = tr + step as u32 + 1;
+        // Hold: run grows; self-wrap pressure is run / II.
+        let hold_run = (run + 1).min(cap_run);
+        let own_extra = (run as u32) / ii;
+        if let Some(c) = enter_cost(pe, t_next, own_extra) {
+            let nd = d + c;
+            let ni = idx(pe, step + 1, hold_run);
+            if nd < dist[ni] {
+                dist[ni] = nd;
+                prev[ni] = Some((pe, run));
+                heap.push(std::cmp::Reverse((nd, pe.0, step + 1, hold_run)));
+            }
+        }
+        // Hop: run resets. (Revisiting a PE after leaving it is not
+        // self-tracked; callers guard with a final overuse check.)
+        for nxt in fabric.neighbors(pe) {
+            if let Some(c) = enter_cost(nxt, t_next, 0) {
+                let nd = d + c;
+                let ni = idx(nxt, step + 1, 1);
+                if nd < dist[ni] {
+                    dist[ni] = nd;
+                    prev[ni] = Some((pe, run));
+                    heap.push(std::cmp::Reverse((nd, nxt.0, step + 1, 1)));
+                }
+            }
+        }
+    }
+
+    // Best terminal state at the consumer.
+    let best_run = (1..=cap_run)
+        .filter(|&r| dist[idx(to, span - 1, r)] != u64::MAX)
+        .min_by_key(|&r| dist[idx(to, span - 1, r)])?;
+    // Walk back.
+    let mut steps = vec![to; span];
+    let mut cur = to;
+    let mut cur_run = best_run;
+    for step in (1..span).rev() {
+        let (p, r) = prev[idx(cur, step, cur_run)].expect("reached state has predecessor");
+        steps[step - 1] = p;
+        cur = p;
+        cur_run = r;
+    }
+    if steps[0] != from {
+        return None; // unreachable start (shouldn't happen)
+    }
+    Some(Route {
+        start_time: tr,
+        steps,
+    })
+}
+
+/// Positions already used by routes of the same producer (for fan-out
+/// sharing).
+pub fn shared_positions(dfg: &Dfg, mapping: &Mapping, src: cgra_ir::NodeId) -> HashSet<(PeId, u32)> {
+    let mut set = HashSet::new();
+    for (eid, e) in dfg.edges() {
+        if e.src == src {
+            let r = &mapping.routes[eid.index()];
+            for (i, &pe) in r.steps.iter().enumerate() {
+                set.insert((pe, r.start_time + i as u32));
+            }
+        }
+    }
+    set
+}
+
+/// Route every edge of a fully placed mapping with PathFinder-style
+/// negotiated congestion. Returns the routes on success.
+///
+/// `rounds` bounds the rip-up/re-route iterations; `negotiated = false`
+/// degrades to a single feasible-only pass (the ablation baseline).
+pub fn route_all(
+    fabric: &Fabric,
+    dfg: &Dfg,
+    place: &[Placement],
+    ii: u32,
+    rounds: u32,
+    negotiated: bool,
+) -> Option<Vec<Route>> {
+    let mut mapping = Mapping {
+        ii,
+        place: place.to_vec(),
+        routes: vec![Route::default(); dfg.edge_count()],
+    };
+    let mut hist = History::new(fabric, ii);
+
+    // Route longer-distance edges first (harder to satisfy).
+    let mut order: Vec<_> = dfg.edge_ids().collect();
+    let hop = fabric.hop_distance();
+    order.sort_by_key(|&eid| {
+        let e = dfg.edge(eid);
+        std::cmp::Reverse(hop[place[e.src.index()].pe.index()][place[e.dst.index()].pe.index()])
+    });
+
+    let total_rounds = if negotiated { rounds.max(1) } else { 1 };
+    for round in 0..total_rounds {
+        let allow = negotiated && round + 1 < total_rounds;
+        // (Re)route everything against fresh occupancy.
+        let mut st = SpaceTime::new(fabric, ii);
+        for p in place {
+            st.occupy_fu(p.pe, p.time);
+        }
+        mapping.routes = vec![Route::default(); dfg.edge_count()];
+        let mut ok = true;
+        for &eid in &order {
+            let e = dfg.edge(eid);
+            let tr = mapping.ready_time(dfg, fabric, e.src);
+            let tc = mapping.consume_time(dfg, eid);
+            if tc < tr {
+                return None; // schedule violates latency; placement bug
+            }
+            let shared = shared_positions(dfg, &mapping, e.src);
+            let opts = RouteOpts {
+                allow_overuse: allow,
+                ..RouteOpts::default()
+            };
+            let from = place[e.src.index()].pe;
+            let to = place[e.dst.index()].pe;
+            match find_route(fabric, &st, from, tr, to, tc, &shared, Some(&hist), opts) {
+                Some(r) => {
+                    for (i, &pe) in r.steps.iter().enumerate() {
+                        let t = r.start_time + i as u32;
+                        if !shared.contains(&(pe, t)) {
+                            st.occupy_reg(pe, t);
+                        }
+                    }
+                    mapping.routes[eid.index()] = r;
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && st.overuse() == 0 {
+            return Some(mapping.routes);
+        }
+        if !negotiated {
+            return None;
+        }
+        // Bump history on over-subscribed registers.
+        for pe in fabric.pe_ids() {
+            for slot in 0..ii {
+                let over = st.reg_count(pe, slot).saturating_sub(fabric.rf_size);
+                if over > 0 {
+                    hist.bump(pe, slot, STEP_COST * over as u64);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_arch::Topology;
+    use cgra_ir::OpKind;
+
+    fn mesh() -> Fabric {
+        Fabric::homogeneous(4, 4, Topology::Mesh)
+    }
+
+    #[test]
+    fn direct_route_same_pe() {
+        let f = mesh();
+        let st = SpaceTime::new(&f, 4);
+        let r = find_route(
+            &f,
+            &st,
+            PeId(5),
+            3,
+            PeId(5),
+            3,
+            &HashSet::new(),
+            None,
+            RouteOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(r.steps, vec![PeId(5)]);
+        assert_eq!(r.start_time, 3);
+    }
+
+    #[test]
+    fn route_respects_hop_budget() {
+        let f = mesh();
+        let st = SpaceTime::new(&f, 8);
+        // pe0 -> pe15 needs 6 hops; 5 cycles of slack is not enough.
+        assert!(find_route(
+            &f,
+            &st,
+            PeId(0),
+            0,
+            PeId(15),
+            5,
+            &HashSet::new(),
+            None,
+            RouteOpts::default()
+        )
+        .is_none());
+        let r = find_route(
+            &f,
+            &st,
+            PeId(0),
+            0,
+            PeId(15),
+            6,
+            &HashSet::new(),
+            None,
+            RouteOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(r.hops(), 6);
+        assert_eq!(r.steps.len(), 7);
+        // Consecutive steps are adjacent or equal.
+        for w in r.steps.windows(2) {
+            assert!(w[0] == w[1] || f.neighbors(w[0]).contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn route_avoids_full_registers() {
+        let f = mesh();
+        let mut st = SpaceTime::new(&f, 1);
+        // Saturate pe1's registers at every slot (ii=1 so one slot).
+        for _ in 0..f.rf_size {
+            st.occupy_reg(PeId(1), 0);
+        }
+        // pe0 -> pe2 in 2 cycles must pass through pe1 (row 0) or detour
+        // via pe4/pe5/pe6 which takes 4 hops; 2 cycles forbid the detour,
+        // so routing must fail in feasible-only mode.
+        let r = find_route(
+            &f,
+            &st,
+            PeId(0),
+            0,
+            PeId(2),
+            2,
+            &HashSet::new(),
+            None,
+            RouteOpts::default(),
+        );
+        assert!(r.is_none());
+        // With 4 cycles of slack the detour through row 1 works.
+        let r = find_route(
+            &f,
+            &st,
+            PeId(0),
+            0,
+            PeId(2),
+            4,
+            &HashSet::new(),
+            None,
+            RouteOpts::default(),
+        )
+        .unwrap();
+        assert!(r.steps.iter().all(|&pe| pe != PeId(1)));
+    }
+
+    #[test]
+    fn shared_positions_are_free() {
+        let f = mesh();
+        let mut st = SpaceTime::new(&f, 1);
+        for _ in 0..f.rf_size {
+            st.occupy_reg(PeId(1), 0);
+        }
+        // Same-value sharing lets the route pass through the full pe1.
+        let mut shared = HashSet::new();
+        for t in 0..=2 {
+            shared.insert((PeId(1), t));
+        }
+        shared.insert((PeId(0), 0));
+        let r = find_route(
+            &f,
+            &st,
+            PeId(0),
+            0,
+            PeId(2),
+            2,
+            &shared,
+            None,
+            RouteOpts::default(),
+        );
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn route_all_simple_chain() {
+        // in -> not -> out placed on a row; routes must connect them.
+        let f = mesh();
+        let mut dfg = Dfg::new("chain");
+        let a = dfg.add_node(OpKind::Input(0));
+        let b = dfg.add_node(OpKind::Not);
+        let c = dfg.add_node(OpKind::Output(0));
+        dfg.connect(a, b, 0);
+        dfg.connect(b, c, 0);
+        let place = vec![
+            Placement { pe: PeId(0), time: 0 },
+            Placement { pe: PeId(1), time: 2 },
+            Placement { pe: PeId(2), time: 4 },
+        ];
+        let routes = route_all(&f, &dfg, &place, 8, 8, true).unwrap();
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].start_time, 1);
+        assert_eq!(*routes[0].steps.last().unwrap(), PeId(1));
+        assert_eq!(*routes[1].steps.first().unwrap(), PeId(1));
+    }
+
+    #[test]
+    fn route_all_rejects_latency_violation() {
+        let f = mesh();
+        let mut dfg = Dfg::new("bad");
+        let a = dfg.add_node(OpKind::Input(0));
+        let b = dfg.add_node(OpKind::Not);
+        dfg.connect(a, b, 0);
+        // Consumer scheduled before the producer's result is ready.
+        let place = vec![
+            Placement { pe: PeId(0), time: 5 },
+            Placement { pe: PeId(1), time: 0 },
+        ];
+        assert!(route_all(&f, &dfg, &place, 8, 4, true).is_none());
+    }
+
+    #[test]
+    fn negotiation_beats_single_pass_under_pressure() {
+        // Many values crossing one narrow cut: single-pass greedy
+        // routing can dead-end; negotiation should succeed at least as
+        // often. We only assert negotiated success here.
+        let mut f = Fabric::homogeneous(2, 3, Topology::Mesh);
+        f.rf_size = 1;
+        let mut dfg = Dfg::new("cross");
+        // Two values from column 0 to column 2 simultaneously.
+        let mut place = Vec::new();
+        for row in 0..2u16 {
+            let a = dfg.add_node(OpKind::Input(row as u32));
+            let b = dfg.add_node(OpKind::Not);
+            dfg.connect(a, b, 0);
+            place.push(Placement {
+                pe: f.pe_at(row, 0),
+                time: 0,
+            });
+            place.push(Placement {
+                pe: f.pe_at(row, 2),
+                time: 3,
+            });
+        }
+        let routes = route_all(&f, &dfg, &place, 6, 10, true);
+        assert!(routes.is_some());
+    }
+}

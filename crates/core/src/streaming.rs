@@ -1,0 +1,388 @@
+//! Streaming-application mapping (ChordMap lineage — Li et al., IEEE
+//! TCAD 2021; the dataflow model of computation the survey's §IV-B-a
+//! names as the natural fit for CGRAs).
+//!
+//! A streaming application is a synchronous-dataflow (SDF) graph whose
+//! actors are loop kernels and whose channels carry one token per
+//! iteration. Mapping partitions the fabric into disjoint regions, maps
+//! every actor into its region (with any [`Mapper`]), and the pipeline
+//! throughput is set by the slowest actor:
+//! `1 / max_k II_k` iterations per cycle, all actors running
+//! concurrently on their partitions.
+
+use crate::mapper::{MapConfig, MapError, Mapper};
+use crate::mapping::Mapping;
+use crate::metrics::Metrics;
+use cgra_arch::{Fabric, PeId};
+use cgra_ir::interp::{Interpreter, Tape};
+use cgra_ir::{Dfg, OpKind, Value};
+use std::collections::HashMap;
+
+/// A channel: one token per iteration from an output stream of the
+/// producer actor to an input stream of the consumer actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Channel {
+    pub from_actor: usize,
+    pub from_stream: u32,
+    pub to_actor: usize,
+    pub to_stream: u32,
+}
+
+/// A synchronous-dataflow application: actors (loop kernels) plus
+/// channels.
+#[derive(Debug, Clone, Default)]
+pub struct SdfGraph {
+    pub actors: Vec<Dfg>,
+    pub channels: Vec<Channel>,
+}
+
+impl SdfGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_actor(&mut self, dfg: Dfg) -> usize {
+        self.actors.push(dfg);
+        self.actors.len() - 1
+    }
+
+    pub fn connect(&mut self, from: (usize, u32), to: (usize, u32)) {
+        self.channels.push(Channel {
+            from_actor: from.0,
+            from_stream: from.1,
+            to_actor: to.0,
+            to_stream: to.1,
+        });
+    }
+
+    /// Actors in a topological order of the channel graph. `None` if
+    /// the channel graph is cyclic (feedback needs explicit delays,
+    /// which this model does not support).
+    pub fn topo_actors(&self) -> Option<Vec<usize>> {
+        let n = self.actors.len();
+        let mut indeg = vec![0usize; n];
+        for c in &self.channels {
+            indeg[c.to_actor] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(a) = stack.pop() {
+            order.push(a);
+            for c in &self.channels {
+                if c.from_actor == a {
+                    indeg[c.to_actor] -= 1;
+                    if indeg[c.to_actor] == 0 {
+                        stack.push(c.to_actor);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// External input streams of an actor (not fed by any channel).
+    pub fn external_inputs(&self, actor: usize) -> Vec<u32> {
+        let fed: Vec<u32> = self
+            .channels
+            .iter()
+            .filter(|c| c.to_actor == actor)
+            .map(|c| c.to_stream)
+            .collect();
+        self.actors[actor]
+            .nodes()
+            .filter_map(|(_, n)| match n.op {
+                OpKind::Input(s) if !fed.contains(&s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// One actor's share of the fabric: a contiguous column strip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    pub col_lo: u16,
+    pub col_hi: u16,
+}
+
+impl Region {
+    pub fn pes(&self, fabric: &Fabric) -> Vec<PeId> {
+        (0..fabric.rows)
+            .flat_map(|r| (self.col_lo..=self.col_hi).map(move |c| (r, c)))
+            .map(|(r, c)| fabric.pe_at(r, c))
+            .collect()
+    }
+}
+
+/// A mapped streaming application.
+#[derive(Debug, Clone)]
+pub struct StreamMapping {
+    /// Per-actor region (disjoint column strips).
+    pub regions: Vec<Region>,
+    /// Per-actor mapping *within its region's sub-fabric coordinates*.
+    pub mappings: Vec<Mapping>,
+    /// Pipeline initiation interval: `max_k II_k`.
+    pub pipeline_ii: u32,
+}
+
+impl StreamMapping {
+    /// Steady-state pipeline throughput (iterations per cycle).
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.pipeline_ii as f64
+    }
+}
+
+/// Cut the fabric's columns into strips proportional to actor sizes.
+fn partition(fabric: &Fabric, sizes: &[usize]) -> Option<Vec<Region>> {
+    let actors = sizes.len() as u16;
+    if actors == 0 || actors > fabric.cols {
+        return None;
+    }
+    let total: usize = sizes.iter().sum::<usize>().max(1);
+    let mut regions = Vec::with_capacity(sizes.len());
+    let mut col = 0u16;
+    for (i, &s) in sizes.iter().enumerate() {
+        let remaining_actors = (sizes.len() - i) as u16;
+        let remaining_cols = fabric.cols - col;
+        if remaining_cols < remaining_actors {
+            return None;
+        }
+        let ideal = ((s as f64 / total as f64) * fabric.cols as f64).round() as u16;
+        let width = ideal
+            .max(1)
+            .min(remaining_cols - (remaining_actors - 1));
+        regions.push(Region {
+            col_lo: col,
+            col_hi: col + width - 1,
+        });
+        col += width;
+    }
+    // Give leftover columns to the last region.
+    if col < fabric.cols {
+        regions.last_mut().unwrap().col_hi = fabric.cols - 1;
+    }
+    Some(regions)
+}
+
+/// Build the sub-fabric of a column strip (capabilities sliced from the
+/// parent; stream I/O allowed anywhere inside the strip since channels
+/// are wired at region borders).
+fn sub_fabric(fabric: &Fabric, region: &Region) -> Fabric {
+    let cols = region.col_hi - region.col_lo + 1;
+    let mut f = fabric.clone();
+    f.name = format!("{}_cols{}to{}", fabric.name, region.col_lo, region.col_hi);
+    f.cols = cols;
+    f.cells = (0..fabric.rows)
+        .flat_map(|r| {
+            (region.col_lo..=region.col_hi)
+                .map(move |c| (r, c))
+        })
+        .map(|(r, c)| fabric.cells[fabric.pe_at(r, c).index()])
+        .collect();
+    f.io_policy = cgra_arch::IoPolicy::Anywhere;
+    f
+}
+
+/// Map a streaming application: partition, then map every actor inside
+/// its strip with `mapper`.
+pub fn map_streaming(
+    sdf: &SdfGraph,
+    fabric: &Fabric,
+    mapper: &dyn Mapper,
+    cfg: &MapConfig,
+) -> Result<StreamMapping, MapError> {
+    if sdf.actors.is_empty() {
+        return Err(MapError::Unsupported("empty SDF graph".into()));
+    }
+    if sdf.topo_actors().is_none() {
+        return Err(MapError::Unsupported(
+            "cyclic SDF graphs need explicit channel delays".into(),
+        ));
+    }
+    let sizes: Vec<usize> = sdf.actors.iter().map(|a| a.node_count()).collect();
+    let regions = partition(fabric, &sizes).ok_or_else(|| {
+        MapError::Infeasible(format!(
+            "{} actors need at least as many columns; fabric has {}",
+            sdf.actors.len(),
+            fabric.cols
+        ))
+    })?;
+    let mut mappings = Vec::with_capacity(sdf.actors.len());
+    let mut pipeline_ii = 1;
+    for (actor, region) in sdf.actors.iter().zip(&regions) {
+        let sub = sub_fabric(fabric, region);
+        let m = mapper.map(actor, &sub, cfg).map_err(|e| {
+            MapError::Infeasible(format!(
+                "actor `{}` failed in its {}-column region: {e}",
+                actor.name,
+                sub.cols
+            ))
+        })?;
+        crate::validate::validate(&m, actor, &sub)
+            .map_err(|e| MapError::Infeasible(format!("invalid sub-mapping: {e}")))?;
+        pipeline_ii = pipeline_ii.max(m.ii);
+        mappings.push(m);
+    }
+    Ok(StreamMapping {
+        regions,
+        mappings,
+        pipeline_ii,
+    })
+}
+
+/// Execute the streaming pipeline functionally for `iters` tokens:
+/// actors run in topological order, channel outputs feeding consumer
+/// tapes (steady-state semantics; the spatial pipeline skew does not
+/// change the token streams).
+pub fn run_streaming(
+    sdf: &SdfGraph,
+    iters: usize,
+    external: &HashMap<(usize, u32), Vec<Value>>,
+) -> Result<Vec<Vec<Vec<Value>>>, String> {
+    let order = sdf.topo_actors().ok_or("cyclic SDF graph")?;
+    let mut outputs: Vec<Vec<Vec<Value>>> = vec![Vec::new(); sdf.actors.len()];
+    for actor in order {
+        let dfg = &sdf.actors[actor];
+        let in_streams = dfg
+            .nodes()
+            .filter_map(|(_, n)| match n.op {
+                OpKind::Input(s) => Some(s as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut inputs = vec![vec![0; iters]; in_streams];
+        for c in sdf.channels.iter().filter(|c| c.to_actor == actor) {
+            inputs[c.to_stream as usize] =
+                outputs[c.from_actor][c.from_stream as usize].clone();
+        }
+        for (&(a, s), vals) in external {
+            if a == actor {
+                inputs[s as usize] = vals.clone();
+            }
+        }
+        let tape = Tape {
+            inputs,
+            memory: vec![],
+        };
+        let r = Interpreter::run(dfg, iters, &tape).map_err(|e| e.to_string())?;
+        outputs[actor] = r.outputs;
+    }
+    Ok(outputs)
+}
+
+/// Per-actor metrics of a stream mapping (II, utilisation of its
+/// strip).
+pub fn stream_metrics(
+    sdf: &SdfGraph,
+    fabric: &Fabric,
+    sm: &StreamMapping,
+) -> Vec<(String, Metrics)> {
+    sdf.actors
+        .iter()
+        .zip(&sm.regions)
+        .zip(&sm.mappings)
+        .map(|((actor, region), mapping)| {
+            let sub = sub_fabric(fabric, region);
+            (actor.name.clone(), Metrics::of(mapping, actor, &sub))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mappers::ModuloList;
+    use cgra_arch::Topology;
+    use cgra_ir::kernels;
+
+    /// in → fir(3) → threshold → sad-vs-reference pipeline.
+    fn pipeline() -> SdfGraph {
+        let mut sdf = SdfGraph::new();
+        let fir = sdf.add_actor(kernels::fir(3));
+        let thr = sdf.add_actor(kernels::threshold());
+        sdf.connect((fir, 0), (thr, 0));
+        sdf
+    }
+
+    #[test]
+    fn topo_and_external_inputs() {
+        let sdf = pipeline();
+        assert_eq!(sdf.topo_actors(), Some(vec![0, 1]));
+        assert_eq!(sdf.external_inputs(0), vec![0]);
+        assert!(sdf.external_inputs(1).is_empty());
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let mut sdf = pipeline();
+        sdf.connect((1, 0), (0, 0));
+        assert!(sdf.topo_actors().is_none());
+        let f = Fabric::homogeneous(4, 8, Topology::Mesh);
+        let err = map_streaming(&sdf, &f, &ModuloList::default(), &MapConfig::fast());
+        assert!(matches!(err, Err(MapError::Unsupported(_))));
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let f = Fabric::homogeneous(4, 8, Topology::Mesh);
+        let regions = partition(&f, &[10, 5, 5]).unwrap();
+        assert_eq!(regions.len(), 3);
+        assert_eq!(regions[0].col_lo, 0);
+        assert_eq!(regions.last().unwrap().col_hi, 7);
+        for w in regions.windows(2) {
+            assert_eq!(w[0].col_hi + 1, w[1].col_lo);
+        }
+        // Bigger actor gets at least as many columns.
+        let w0 = regions[0].col_hi - regions[0].col_lo;
+        let w1 = regions[1].col_hi - regions[1].col_lo;
+        assert!(w0 >= w1);
+    }
+
+    #[test]
+    fn maps_two_stage_pipeline() {
+        let sdf = pipeline();
+        let f = Fabric::homogeneous(4, 8, Topology::Mesh);
+        let sm = map_streaming(&sdf, &f, &ModuloList::default(), &MapConfig::fast())
+            .expect("pipeline maps");
+        assert_eq!(sm.mappings.len(), 2);
+        assert!(sm.pipeline_ii >= 1);
+        assert!(sm.throughput() <= 1.0);
+        let metrics = stream_metrics(&sdf, &f, &sm);
+        assert_eq!(metrics.len(), 2);
+    }
+
+    #[test]
+    fn streaming_execution_matches_composition() {
+        let sdf = pipeline();
+        let xs: Vec<Value> = (0..8).map(|i| (i * 37) % 150).collect();
+        let mut external = HashMap::new();
+        external.insert((0usize, 0u32), xs.clone());
+        let outs = run_streaming(&sdf, 8, &external).unwrap();
+        // Reference: run fir then threshold manually.
+        let fir = kernels::fir(3);
+        let tape = Tape {
+            inputs: vec![xs],
+            memory: vec![],
+        };
+        let fir_out = Interpreter::run(&fir, 8, &tape).unwrap();
+        let thr = kernels::threshold();
+        let tape2 = Tape {
+            inputs: vec![fir_out.outputs[0].clone()],
+            memory: vec![],
+        };
+        let thr_out = Interpreter::run(&thr, 8, &tape2).unwrap();
+        assert_eq!(outs[1], thr_out.outputs);
+    }
+
+    #[test]
+    fn too_many_actors_for_fabric() {
+        let mut sdf = SdfGraph::new();
+        for _ in 0..5 {
+            sdf.add_actor(kernels::accumulate());
+        }
+        let f = Fabric::homogeneous(4, 4, Topology::Mesh);
+        let err = map_streaming(&sdf, &f, &ModuloList::default(), &MapConfig::fast());
+        assert!(matches!(err, Err(MapError::Infeasible(_))));
+    }
+}

@@ -1,0 +1,110 @@
+//! Graphviz (DOT) export for DFGs and CDFGs — handy for inspecting
+//! kernels and for documentation figures.
+
+use crate::cdfg::{Cdfg, ControlKind};
+use crate::dfg::Dfg;
+use std::fmt::Write as _;
+
+/// Render a DFG as a DOT digraph. Loop-carried edges are dashed and
+/// labelled with their distance.
+pub fn dfg_to_dot(dfg: &Dfg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", dfg.name);
+    let _ = writeln!(s, "  rankdir=TB; node [shape=box, fontname=monospace];");
+    for (id, node) in dfg.nodes() {
+        let label = match &node.name {
+            Some(n) => format!("{} \\n{}", node.op, n),
+            None => node.op.to_string(),
+        };
+        let shape = if node.op.is_source() || node.op.is_sink() {
+            ", shape=ellipse"
+        } else if node.op.is_memory() {
+            ", shape=cylinder"
+        } else {
+            ""
+        };
+        let _ = writeln!(s, "  n{} [label=\"{}\"{}];", id.0, label, shape);
+    }
+    for (_, e) in dfg.edges() {
+        if e.dist == 0 {
+            let _ = writeln!(s, "  n{} -> n{} [headlabel=\"{}\"];", e.src.0, e.dst.0, e.port);
+        } else {
+            let _ = writeln!(
+                s,
+                "  n{} -> n{} [style=dashed, label=\"d={}\", headlabel=\"{}\"];",
+                e.src.0, e.dst.0, e.dist, e.port
+            );
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Render a CDFG as a DOT digraph of basic blocks (block DFGs are
+/// summarised by op count; branch edges are labelled T/F).
+pub fn cdfg_to_dot(cdfg: &Cdfg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", cdfg.name);
+    let _ = writeln!(s, "  node [shape=record, fontname=monospace];");
+    for id in cdfg.block_ids() {
+        let bb = cdfg.block(id);
+        let _ = writeln!(
+            s,
+            "  bb{} [label=\"{{{} | {} ops | defs: {}}}\"];",
+            id.0,
+            bb.label,
+            bb.dfg.node_count(),
+            bb.defs
+                .iter()
+                .map(|(v, _)| v.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        match &bb.terminator {
+            ControlKind::Jump(t) => {
+                let _ = writeln!(s, "  bb{} -> bb{};", id.0, t.0);
+            }
+            ControlKind::Branch {
+                then_to, else_to, ..
+            } => {
+                let _ = writeln!(s, "  bb{} -> bb{} [label=T];", id.0, then_to.0);
+                let _ = writeln!(s, "  bb{} -> bb{} [label=F];", id.0, else_to.0);
+            }
+            ControlKind::Return => {}
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+    use crate::kernels;
+
+    #[test]
+    fn dfg_dot_is_well_formed() {
+        let g = kernels::dot_product();
+        let dot = dfg_to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        for (id, _) in g.nodes() {
+            assert!(dot.contains(&format!("n{} ", id.0)));
+        }
+        assert!(dot.contains("style=dashed"), "carried edge must be dashed");
+        assert_eq!(dot.matches("->").count(), g.edge_count());
+    }
+
+    #[test]
+    fn cdfg_dot_shows_branches() {
+        let c = frontend::compile_func(
+            "func f(x) { var y = 0; if (x > 0) { y = 1; } else { y = 2; } return; }",
+        )
+        .unwrap();
+        let dot = cdfg_to_dot(&c);
+        assert!(dot.contains("[label=T]"));
+        assert!(dot.contains("[label=F]"));
+        assert!(dot.contains("digraph"));
+    }
+}

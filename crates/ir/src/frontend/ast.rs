@@ -1,0 +1,124 @@
+//! Abstract syntax tree for MiniC.
+
+use crate::op::Value;
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A loop body compiled to a DFG.
+    Kernel(KernelDef),
+    /// A general function compiled to a CDFG.
+    Func(FuncDef),
+}
+
+/// Parameter direction for kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamDir {
+    /// Per-iteration input stream.
+    In,
+    /// Per-iteration output stream.
+    Out,
+    /// Loop-carried state (read at the top of the iteration, written at
+    /// the bottom; also emitted as an output stream).
+    InOut,
+}
+
+/// A kernel parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    pub dir: ParamDir,
+    pub name: String,
+    /// Initial value for `inout` parameters (default 0).
+    pub init: Value,
+}
+
+/// `kernel name(params) { body }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelDef {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+}
+
+/// `func name(args) { body }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDef {
+    pub name: String,
+    pub args: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var x = e;` (declaration) or `x = e;` (assignment); MiniC does
+    /// not distinguish after parsing.
+    Assign { name: String, value: Expr },
+    /// `mem[a] = v;`
+    MemStore { addr: Expr, value: Expr },
+    /// `if (c) { .. } else { .. }`
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// `while (c) { .. }` — only legal in `func` items.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// A flattened statement sequence (produced by `for` desugaring).
+    Seq(Vec<Stmt>),
+    /// `return;` — only legal in `func` items.
+    Return,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Binary operators in MiniC surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    LogAnd,
+    LogOr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    Int(Value),
+    Var(String),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `c ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `mem[addr]`
+    MemLoad(Box<Expr>),
+    /// Builtin calls: `abs(x)`, `min(a,b)`, `max(a,b)`, `select(c,a,b)`,
+    /// `delay(x, k)` (value of `x` from `k` iterations ago; kernels only).
+    Call(String, Vec<Expr>),
+}

@@ -1,0 +1,453 @@
+//! Hand-written lexer for MiniC.
+
+use std::fmt;
+
+/// Token classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    // Keywords.
+    Kernel,
+    Func,
+    Var,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    In,
+    Out,
+    InOut,
+    Mem,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    // Operators.
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Question,
+    Colon,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// Lexer over a source string.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    self.bump();
+                    self.bump();
+                    while !(self.peek() == b'*' && self.peek2() == b'/') && self.peek() != 0 {
+                        self.bump();
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Lex the entire input. Returns `Err(line, char)` on an unexpected
+    /// byte.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, (u32, char)> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let line = self.line;
+            let c = self.peek();
+            let kind = match c {
+                0 => {
+                    out.push(Token {
+                        kind: TokenKind::Eof,
+                        line,
+                    });
+                    return Ok(out);
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let start = self.pos;
+                    while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+                        self.bump();
+                    }
+                    let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    match word {
+                        "kernel" => TokenKind::Kernel,
+                        "func" => TokenKind::Func,
+                        "var" => TokenKind::Var,
+                        "if" => TokenKind::If,
+                        "else" => TokenKind::Else,
+                        "while" => TokenKind::While,
+                        "for" => TokenKind::For,
+                        "return" => TokenKind::Return,
+                        "in" => TokenKind::In,
+                        "out" => TokenKind::Out,
+                        "inout" => TokenKind::InOut,
+                        "mem" => TokenKind::Mem,
+                        _ => TokenKind::Ident(word.to_string()),
+                    }
+                }
+                b'0'..=b'9' => {
+                    let start = self.pos;
+                    while self.peek().is_ascii_digit() {
+                        self.bump();
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    TokenKind::Int(text.parse().map_err(|_| (line, '9'))?)
+                }
+                b'(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                b')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                b'{' => {
+                    self.bump();
+                    TokenKind::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    TokenKind::RBrace
+                }
+                b'[' => {
+                    self.bump();
+                    TokenKind::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    TokenKind::RBracket
+                }
+                b',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                b';' => {
+                    self.bump();
+                    TokenKind::Semi
+                }
+                b'?' => {
+                    self.bump();
+                    TokenKind::Question
+                }
+                b':' => {
+                    self.bump();
+                    TokenKind::Colon
+                }
+                b'~' => {
+                    self.bump();
+                    TokenKind::Tilde
+                }
+                b'^' => {
+                    self.bump();
+                    TokenKind::Caret
+                }
+                b'%' => {
+                    self.bump();
+                    TokenKind::Percent
+                }
+                b'+' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::PlusAssign
+                    } else {
+                        TokenKind::Plus
+                    }
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::MinusAssign
+                    } else {
+                        TokenKind::Minus
+                    }
+                }
+                b'*' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::StarAssign
+                    } else {
+                        TokenKind::Star
+                    }
+                }
+                b'/' => {
+                    self.bump();
+                    TokenKind::Slash
+                }
+                b'&' => {
+                    self.bump();
+                    if self.peek() == b'&' {
+                        self.bump();
+                        TokenKind::AmpAmp
+                    } else {
+                        TokenKind::Amp
+                    }
+                }
+                b'|' => {
+                    self.bump();
+                    if self.peek() == b'|' {
+                        self.bump();
+                        TokenKind::PipePipe
+                    } else {
+                        TokenKind::Pipe
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::EqEq
+                    } else {
+                        TokenKind::Assign
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::NotEq
+                    } else {
+                        TokenKind::Bang
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        b'=' => {
+                            self.bump();
+                            TokenKind::Le
+                        }
+                        b'<' => {
+                            self.bump();
+                            TokenKind::Shl
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    match self.peek() {
+                        b'=' => {
+                            self.bump();
+                            TokenKind::Ge
+                        }
+                        b'>' => {
+                            self.bump();
+                            TokenKind::Shr
+                        }
+                        _ => TokenKind::Gt,
+                    }
+                }
+                other => return Err((line, other as char)),
+            };
+            out.push(Token { kind, line });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("kernel foo in out inout bar"),
+            vec![
+                Kernel,
+                Ident("foo".into()),
+                In,
+                Out,
+                InOut,
+                Ident("bar".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_lex_greedily() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a <= b << c < d == e = f != g"),
+            vec![
+                Ident("a".into()),
+                Le,
+                Ident("b".into()),
+                Shl,
+                Ident("c".into()),
+                Lt,
+                Ident("d".into()),
+                EqEq,
+                Ident("e".into()),
+                Assign,
+                Ident("f".into()),
+                NotEq,
+                Ident("g".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_assign() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x += 1; y -= 2; z *= 3;"),
+            vec![
+                Ident("x".into()),
+                PlusAssign,
+                Int(1),
+                Semi,
+                Ident("y".into()),
+                MinusAssign,
+                Int(2),
+                Semi,
+                Ident("z".into()),
+                StarAssign,
+                Int(3),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a // line\n b /* block\nblock */ c"),
+            vec![Ident("a".into()), Ident("b".into()), Ident("c".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = Lexer::new("a\nb\n\nc").tokenize().unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unexpected_byte_errors() {
+        assert!(Lexer::new("a @ b").tokenize().is_err());
+    }
+
+    #[test]
+    fn mem_keyword() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("mem[a] = b;"),
+            vec![
+                Mem,
+                LBracket,
+                Ident("a".into()),
+                RBracket,
+                Assign,
+                Ident("b".into()),
+                Semi,
+                Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! The MiniC front-end: the "front-end" box of the survey's Figure 3.
+//!
+//! MiniC is a small C-like language sufficient for every kernel in the
+//! CGRA-mapping literature. Two top-level forms exist:
+//!
+//! * `kernel name(in a, out y, inout acc = 0) { ... }` — a *loop body*,
+//!   compiled straight to a [`Dfg`](crate::dfg::Dfg) with loop-carried
+//!   edges for `inout` parameters; `if`/`else` inside a kernel is
+//!   if-converted to `Select` operations (partial predication).
+//! * `func name(a, b) { ... }` — a general function with `while`/`if`
+//!   control flow, compiled to a [`Cdfg`](crate::cdfg::Cdfg).
+//!
+//! ```
+//! let src = r#"
+//! kernel saxpy(in x, in y, out z) {
+//!     z = 2 * x + y;
+//! }
+//! "#;
+//! let k = cgra_ir::frontend::compile_kernel(src).unwrap();
+//! assert_eq!(k.dfg.name, "saxpy");
+//! ```
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{BinOp, Expr, Item, Param, ParamDir, Program, Stmt, UnOp};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use lower::{CompiledKernel, LowerError};
+pub use parser::{ParseError, Parser};
+
+use crate::cdfg::Cdfg;
+
+/// Front-end errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    Parse(ParseError),
+    Lower(LowerError),
+    /// The requested item does not exist in the program.
+    NoSuchItem(String),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontendError::Lower(e) => write!(f, "lowering error: {e}"),
+            FrontendError::NoSuchItem(n) => write!(f, "no kernel/func named `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<LowerError> for FrontendError {
+    fn from(e: LowerError) -> Self {
+        FrontendError::Lower(e)
+    }
+}
+
+/// Parse a MiniC program.
+pub fn parse(src: &str) -> Result<Program, FrontendError> {
+    Ok(Parser::new(src)?.program()?)
+}
+
+/// Compile the first `kernel` in `src` to a DFG.
+pub fn compile_kernel(src: &str) -> Result<CompiledKernel, FrontendError> {
+    let prog = parse(src)?;
+    let item = prog
+        .items
+        .iter()
+        .find_map(|i| match i {
+            Item::Kernel(k) => Some(k),
+            _ => None,
+        })
+        .ok_or_else(|| FrontendError::NoSuchItem("<kernel>".into()))?;
+    Ok(lower::lower_kernel(item)?)
+}
+
+/// Compile a named `kernel` to a DFG.
+pub fn compile_kernel_named(src: &str, name: &str) -> Result<CompiledKernel, FrontendError> {
+    let prog = parse(src)?;
+    let item = prog
+        .items
+        .iter()
+        .find_map(|i| match i {
+            Item::Kernel(k) if k.name == name => Some(k),
+            _ => None,
+        })
+        .ok_or_else(|| FrontendError::NoSuchItem(name.into()))?;
+    Ok(lower::lower_kernel(item)?)
+}
+
+/// Compile the first `func` in `src` to a CDFG.
+pub fn compile_func(src: &str) -> Result<Cdfg, FrontendError> {
+    let prog = parse(src)?;
+    let item = prog
+        .items
+        .iter()
+        .find_map(|i| match i {
+            Item::Func(f) => Some(f),
+            _ => None,
+        })
+        .ok_or_else(|| FrontendError::NoSuchItem("<func>".into()))?;
+    Ok(lower::lower_func(item)?)
+}

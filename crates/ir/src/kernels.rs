@@ -1,0 +1,645 @@
+//! The kernel library: loop bodies used throughout the CGRA-mapping
+//! literature (DSP and image-processing inner loops), available as
+//! programmatic DFG builders.
+//!
+//! Every kernel here validates, interprets, and exercises a distinct
+//! mapping stress: recurrences (IIR, Horner), instruction-level
+//! parallelism (YUV→RGB, butterfly), memory traffic (matmul body,
+//! stencils), predication (threshold), and scale (parametric unrolled
+//! MACs for the scalability experiments).
+
+use crate::dfg::{Dfg, NodeId};
+use crate::op::{OpKind, Value};
+
+/// `acc += a * b` — the survey's Figure 3 running example.
+pub fn dot_product() -> Dfg {
+    let mut g = Dfg::new("dot_product");
+    let a = g.add_named(OpKind::Input(0), "a");
+    let b = g.add_named(OpKind::Input(1), "b");
+    let m = g.add_named(OpKind::Mul, "a*b");
+    let s = g.add_named(OpKind::Add, "acc");
+    let o = g.add_named(OpKind::Output(0), "acc_out");
+    g.connect(a, m, 0);
+    g.connect(b, m, 1);
+    g.connect(m, s, 0);
+    g.connect_carried(s, s, 1, 1, vec![0]);
+    g.connect(s, o, 0);
+    g
+}
+
+/// `acc += x` — plain accumulation (tightest recurrence, no multiplier).
+pub fn accumulate() -> Dfg {
+    let mut g = Dfg::new("accumulate");
+    let x = g.add_named(OpKind::Input(0), "x");
+    let s = g.add_named(OpKind::Add, "acc");
+    let o = g.add_node(OpKind::Output(0));
+    g.connect(x, s, 0);
+    g.connect_carried(s, s, 1, 1, vec![0]);
+    g.connect(s, o, 0);
+    g
+}
+
+/// `y[i] = sum_k c[k] * x[i-k]` for `taps` coefficients — the classic
+/// FIR filter; delayed inputs are expressed as loop-carried edges from
+/// the input node.
+pub fn fir(taps: usize) -> Dfg {
+    assert!(taps >= 1);
+    let mut g = Dfg::new(format!("fir{taps}"));
+    let x = g.add_named(OpKind::Input(0), "x");
+    let mut sum: Option<NodeId> = None;
+    for k in 0..taps {
+        let c = g.add_named(OpKind::Const((k as Value) + 1), format!("c{k}"));
+        let m = g.add_named(OpKind::Mul, format!("x[i-{k}]*c{k}"));
+        if k == 0 {
+            g.connect(x, m, 0);
+        } else {
+            g.connect_carried(x, m, 0, k as u32, vec![0; k]);
+        }
+        g.connect(c, m, 1);
+        sum = Some(match sum {
+            None => m,
+            Some(s) => {
+                let a = g.add_node(OpKind::Add);
+                g.connect(s, a, 0);
+                g.connect(m, a, 1);
+                a
+            }
+        });
+    }
+    let o = g.add_node(OpKind::Output(0));
+    g.connect(sum.unwrap(), o, 0);
+    g
+}
+
+/// First-order IIR: `y = (a*y[i-1] >> 4) + x` — a recurrence through a
+/// multiplier, raising RecMII above 1 on multi-cycle fabrics.
+pub fn iir1() -> Dfg {
+    let mut g = Dfg::new("iir1");
+    let x = g.add_named(OpKind::Input(0), "x");
+    let a = g.add_named(OpKind::Const(13), "a");
+    let four = g.add_node(OpKind::Const(4));
+    let m = g.add_named(OpKind::Mul, "a*y1");
+    let sh = g.add_node(OpKind::Shr);
+    let y = g.add_named(OpKind::Add, "y");
+    let o = g.add_node(OpKind::Output(0));
+    g.connect(a, m, 0);
+    g.connect_carried(y, m, 1, 1, vec![0]);
+    g.connect(m, sh, 0);
+    g.connect(four, sh, 1);
+    g.connect(sh, y, 0);
+    g.connect(x, y, 1);
+    g.connect(y, o, 0);
+    g
+}
+
+/// Matrix-multiply inner loop with explicit address arithmetic and
+/// loads: `acc += A[base_a + i] * B[base_b + i]` with `i` maintained as
+/// a carried counter.
+pub fn matmul_body() -> Dfg {
+    let mut g = Dfg::new("matmul_body");
+    let one = g.add_node(OpKind::Const(1));
+    let i = g.add_named(OpKind::Add, "i");
+    g.connect_carried(i, i, 0, 1, vec![-1]);
+    g.connect(one, i, 1);
+    let base_a = g.add_named(OpKind::Const(0), "base_a");
+    let base_b = g.add_named(OpKind::Const(64), "base_b");
+    let addr_a = g.add_node(OpKind::Add);
+    let addr_b = g.add_node(OpKind::Add);
+    g.connect(base_a, addr_a, 0);
+    g.connect(i, addr_a, 1);
+    g.connect(base_b, addr_b, 0);
+    g.connect(i, addr_b, 1);
+    let la = g.add_named(OpKind::Load, "A[i]");
+    let lb = g.add_named(OpKind::Load, "B[i]");
+    g.connect(addr_a, la, 0);
+    g.connect(addr_b, lb, 0);
+    let m = g.add_node(OpKind::Mul);
+    g.connect(la, m, 0);
+    g.connect(lb, m, 1);
+    let acc = g.add_named(OpKind::Add, "acc");
+    g.connect(m, acc, 0);
+    g.connect_carried(acc, acc, 1, 1, vec![0]);
+    let o = g.add_node(OpKind::Output(0));
+    g.connect(acc, o, 0);
+    g
+}
+
+/// 1-D convolution with 3 taps over a streamed input.
+pub fn conv3() -> Dfg {
+    fir(3).with_name("conv3")
+}
+
+/// Sum of absolute differences: `acc += |a - b|`.
+pub fn sad() -> Dfg {
+    let mut g = Dfg::new("sad");
+    let a = g.add_named(OpKind::Input(0), "a");
+    let b = g.add_named(OpKind::Input(1), "b");
+    let d = g.add_node(OpKind::Sub);
+    let ab = g.add_node(OpKind::Abs);
+    let s = g.add_named(OpKind::Add, "acc");
+    let o = g.add_node(OpKind::Output(0));
+    g.connect(a, d, 0);
+    g.connect(b, d, 1);
+    g.connect(d, ab, 0);
+    g.connect(ab, s, 0);
+    g.connect_carried(s, s, 1, 1, vec![0]);
+    g.connect(s, o, 0);
+    g
+}
+
+/// Sobel-like gradient magnitude over eight neighbourhood streams:
+/// `|gx| + |gy|` with the classic 3×3 weights.
+pub fn sobel() -> Dfg {
+    let mut g = Dfg::new("sobel");
+    // Streams: p00 p01 p02 p10 p12 p20 p21 p22 (centre unused).
+    let p: Vec<NodeId> = (0..8)
+        .map(|s| g.add_named(OpKind::Input(s), format!("p{s}")))
+        .collect();
+    let two = g.add_node(OpKind::Const(2));
+    let dbl = |g: &mut Dfg, n: NodeId| {
+        let m = g.add_node(OpKind::Mul);
+        g.connect(n, m, 0);
+        g.connect(two, m, 1);
+        m
+    };
+    let add = |g: &mut Dfg, a: NodeId, b: NodeId| {
+        let n = g.add_node(OpKind::Add);
+        g.connect(a, n, 0);
+        g.connect(b, n, 1);
+        n
+    };
+    let sub = |g: &mut Dfg, a: NodeId, b: NodeId| {
+        let n = g.add_node(OpKind::Sub);
+        g.connect(a, n, 0);
+        g.connect(b, n, 1);
+        n
+    };
+    // gx = (p02 + 2*p12' + p22) - (p00 + 2*p10 + p20) where streams
+    // [0..8] = 00,01,02,10,12,20,21,22
+    let right = {
+        let t = dbl(&mut g, p[4]);
+        let u = add(&mut g, p[2], t);
+        add(&mut g, u, p[7])
+    };
+    let left = {
+        let t = dbl(&mut g, p[3]);
+        let u = add(&mut g, p[0], t);
+        add(&mut g, u, p[5])
+    };
+    let gx = sub(&mut g, right, left);
+    // gy = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)
+    let bot = {
+        let t = dbl(&mut g, p[6]);
+        let u = add(&mut g, p[5], t);
+        add(&mut g, u, p[7])
+    };
+    let top = {
+        let t = dbl(&mut g, p[1]);
+        let u = add(&mut g, p[0], t);
+        add(&mut g, u, p[2])
+    };
+    let gy = sub(&mut g, bot, top);
+    let ax = g.add_node(OpKind::Abs);
+    let ay = g.add_node(OpKind::Abs);
+    g.connect(gx, ax, 0);
+    g.connect(gy, ay, 0);
+    let mag = add(&mut g, ax, ay);
+    let o = g.add_node(OpKind::Output(0));
+    g.connect(mag, o, 0);
+    g
+}
+
+/// Fixed-point YUV→RGB colour conversion: three input streams, three
+/// output streams, wide instruction-level parallelism with constants.
+pub fn yuv2rgb() -> Dfg {
+    let mut g = Dfg::new("yuv2rgb");
+    let y = g.add_named(OpKind::Input(0), "y");
+    let u = g.add_named(OpKind::Input(1), "u");
+    let v = g.add_named(OpKind::Input(2), "v");
+    let c128 = g.add_node(OpKind::Const(128));
+    let up = g.add_node(OpKind::Sub);
+    let vp = g.add_node(OpKind::Sub);
+    g.connect(u, up, 0);
+    g.connect(c128, up, 1);
+    g.connect(v, vp, 0);
+    g.connect(c128, vp, 1);
+    let shift = g.add_node(OpKind::Const(8));
+    let scale = |g: &mut Dfg, x: NodeId, k: Value| -> NodeId {
+        let c = g.add_node(OpKind::Const(k));
+        let m = g.add_node(OpKind::Mul);
+        g.connect(x, m, 0);
+        g.connect(c, m, 1);
+        let s = g.add_node(OpKind::Shr);
+        g.connect(m, s, 0);
+        g.connect(shift, s, 1);
+        s
+    };
+    let add2 = |g: &mut Dfg, a: NodeId, b: NodeId| {
+        let n = g.add_node(OpKind::Add);
+        g.connect(a, n, 0);
+        g.connect(b, n, 1);
+        n
+    };
+    let sub2 = |g: &mut Dfg, a: NodeId, b: NodeId| {
+        let n = g.add_node(OpKind::Sub);
+        g.connect(a, n, 0);
+        g.connect(b, n, 1);
+        n
+    };
+    let sv = scale(&mut g, vp, 359); // 1.402 * 256
+    let r = add2(&mut g, y, sv);
+    let gch = {
+        let su = scale(&mut g, up, 88); // 0.344
+        let t = sub2(&mut g, y, su);
+        let sv2 = scale(&mut g, vp, 183); // 0.714
+        sub2(&mut g, t, sv2)
+    };
+    let su2 = scale(&mut g, up, 454); // 1.772
+    let b = add2(&mut g, y, su2);
+    // Clamp to 0..=255: max(0, min(255, x)).
+    let c0 = g.add_node(OpKind::Const(0));
+    let c255 = g.add_node(OpKind::Const(255));
+    let clamp = |g: &mut Dfg, x: NodeId| {
+        let mn = g.add_node(OpKind::Min);
+        g.connect(x, mn, 0);
+        g.connect(c255, mn, 1);
+        let mx = g.add_node(OpKind::Max);
+        g.connect(mn, mx, 0);
+        g.connect(c0, mx, 1);
+        mx
+    };
+    for (i, ch) in [r, gch, b].into_iter().enumerate() {
+        let cl = clamp(&mut g, ch);
+        let o = g.add_node(OpKind::Output(i as u32));
+        g.connect(cl, o, 0);
+    }
+    g
+}
+
+/// Radix-2 FFT butterfly on interleaved real/imaginary streams with a
+/// constant twiddle factor (fixed-point, shift-normalised).
+pub fn fft_butterfly() -> Dfg {
+    let mut g = Dfg::new("fft_butterfly");
+    let ar = g.add_named(OpKind::Input(0), "ar");
+    let ai = g.add_named(OpKind::Input(1), "ai");
+    let br = g.add_named(OpKind::Input(2), "br");
+    let bi = g.add_named(OpKind::Input(3), "bi");
+    let wr = g.add_named(OpKind::Const(181), "wr"); // cos(45°)*256
+    let wi = g.add_named(OpKind::Const(-181), "wi");
+    let sh = g.add_node(OpKind::Const(8));
+    let mul = |g: &mut Dfg, a: NodeId, b: NodeId| {
+        let m = g.add_node(OpKind::Mul);
+        g.connect(a, m, 0);
+        g.connect(b, m, 1);
+        m
+    };
+    let shr = |g: &mut Dfg, a: NodeId| {
+        let s = g.add_node(OpKind::Shr);
+        g.connect(a, s, 0);
+        g.connect(sh, s, 1);
+        s
+    };
+    let add2 = |g: &mut Dfg, a: NodeId, b: NodeId| {
+        let n = g.add_node(OpKind::Add);
+        g.connect(a, n, 0);
+        g.connect(b, n, 1);
+        n
+    };
+    let sub2 = |g: &mut Dfg, a: NodeId, b: NodeId| {
+        let n = g.add_node(OpKind::Sub);
+        g.connect(a, n, 0);
+        g.connect(b, n, 1);
+        n
+    };
+    // t = w * b (complex)
+    let tr = {
+        let x = mul(&mut g, wr, br);
+        let y = mul(&mut g, wi, bi);
+        let d = sub2(&mut g, x, y);
+        shr(&mut g, d)
+    };
+    let ti = {
+        let x = mul(&mut g, wr, bi);
+        let y = mul(&mut g, wi, br);
+        let s = add2(&mut g, x, y);
+        shr(&mut g, s)
+    };
+    let outs = [
+        add2(&mut g, ar, tr),
+        add2(&mut g, ai, ti),
+        sub2(&mut g, ar, tr),
+        sub2(&mut g, ai, ti),
+    ];
+    for (i, n) in outs.into_iter().enumerate() {
+        let o = g.add_node(OpKind::Output(i as u32));
+        g.connect(n, o, 0);
+    }
+    g
+}
+
+/// Horner evaluation of a degree-4 polynomial — a long serial chain
+/// with zero ILP, the adversarial case for spatial mapping.
+pub fn horner4() -> Dfg {
+    let mut g = Dfg::new("horner4");
+    let x = g.add_named(OpKind::Input(0), "x");
+    let coeffs = [3, -1, 4, -1, 5];
+    let mut acc = g.add_node(OpKind::Const(coeffs[0]));
+    for &c in &coeffs[1..] {
+        let m = g.add_node(OpKind::Mul);
+        g.connect(acc, m, 0);
+        g.connect(x, m, 1);
+        let cn = g.add_node(OpKind::Const(c));
+        let a = g.add_node(OpKind::Add);
+        g.connect(m, a, 0);
+        g.connect(cn, a, 1);
+        acc = a;
+    }
+    let o = g.add_node(OpKind::Output(0));
+    g.connect(acc, o, 0);
+    g
+}
+
+/// 5-point Laplacian stencil: `4*c - n - s - e - w`.
+pub fn laplacian() -> Dfg {
+    let mut g = Dfg::new("laplacian");
+    let c = g.add_named(OpKind::Input(0), "c");
+    let nb: Vec<NodeId> = (1..5)
+        .map(|s| g.add_node(OpKind::Input(s)))
+        .collect();
+    let four = g.add_node(OpKind::Const(4));
+    let m = g.add_node(OpKind::Mul);
+    g.connect(c, m, 0);
+    g.connect(four, m, 1);
+    let mut acc = m;
+    for &n in &nb {
+        let s = g.add_node(OpKind::Sub);
+        g.connect(acc, s, 0);
+        g.connect(n, s, 1);
+        acc = s;
+    }
+    let o = g.add_node(OpKind::Output(0));
+    g.connect(acc, o, 0);
+    g
+}
+
+/// Predicated threshold kernel using Select:
+/// `y = (x > t) ? x - t : t - x` — the if-converted ITE diamond.
+pub fn threshold() -> Dfg {
+    let mut g = Dfg::new("threshold");
+    let x = g.add_named(OpKind::Input(0), "x");
+    let t = g.add_named(OpKind::Const(100), "t");
+    let gt = g.add_node(OpKind::Gt);
+    g.connect(x, gt, 0);
+    g.connect(t, gt, 1);
+    let d1 = g.add_node(OpKind::Sub);
+    g.connect(x, d1, 0);
+    g.connect(t, d1, 1);
+    let d2 = g.add_node(OpKind::Sub);
+    g.connect(t, d2, 0);
+    g.connect(x, d2, 1);
+    let sel = g.add_node(OpKind::Select);
+    g.connect(gt, sel, 0);
+    g.connect(d1, sel, 1);
+    g.connect(d2, sel, 2);
+    let o = g.add_node(OpKind::Output(0));
+    g.connect(sel, o, 0);
+    g
+}
+
+/// `n` independent multiply-accumulate lanes summed by a reduction tree
+/// — the parametric workload for scalability experiments (node count
+/// grows as `4n`).
+pub fn unrolled_mac(n: usize) -> Dfg {
+    assert!(n >= 1);
+    let mut g = Dfg::new(format!("mac_x{n}"));
+    let mut lane_sums = Vec::with_capacity(n);
+    for l in 0..n {
+        let a = g.add_node(OpKind::Input((2 * l) as u32));
+        let b = g.add_node(OpKind::Input((2 * l + 1) as u32));
+        let m = g.add_node(OpKind::Mul);
+        g.connect(a, m, 0);
+        g.connect(b, m, 1);
+        lane_sums.push(m);
+    }
+    // Reduction tree.
+    while lane_sums.len() > 1 {
+        let mut next = Vec::with_capacity(lane_sums.len().div_ceil(2));
+        for pair in lane_sums.chunks(2) {
+            if pair.len() == 2 {
+                let a = g.add_node(OpKind::Add);
+                g.connect(pair[0], a, 0);
+                g.connect(pair[1], a, 1);
+                next.push(a);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        lane_sums = next;
+    }
+    let acc = g.add_named(OpKind::Add, "acc");
+    g.connect(lane_sums[0], acc, 0);
+    g.connect_carried(acc, acc, 1, 1, vec![0]);
+    let o = g.add_node(OpKind::Output(0));
+    g.connect(acc, o, 0);
+    g
+}
+
+impl Dfg {
+    /// Rename a kernel (builder convenience).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+/// The standard evaluation suite: every fixed-size kernel above.
+///
+/// This is the workload set for the Table I reproduction; it spans
+/// recurrence-bound, ILP-rich, memory-bound, and predicated kernels.
+pub fn suite() -> Vec<Dfg> {
+    vec![
+        dot_product(),
+        accumulate(),
+        fir(4),
+        iir1(),
+        matmul_body(),
+        conv3(),
+        sad(),
+        sobel(),
+        yuv2rgb(),
+        fft_butterfly(),
+        horner4(),
+        laplacian(),
+        threshold(),
+    ]
+}
+
+/// A small subset for the expensive exact mappers.
+pub fn small_suite() -> Vec<Dfg> {
+    vec![dot_product(), accumulate(), iir1(), sad(), threshold(), horner4()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{rec_mii, unit_latency};
+    use crate::interp::{Interpreter, Tape};
+
+    #[test]
+    fn every_kernel_validates() {
+        for k in suite() {
+            k.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+        unrolled_mac(16).validate().unwrap();
+    }
+
+    #[test]
+    fn suite_covers_mapping_stresses() {
+        let s = suite();
+        assert!(s.iter().any(|k| k.memory_ops() > 0), "memory kernels");
+        assert!(s.iter().any(|k| k.multiplier_ops() == 0), "no-mul kernels");
+        assert!(
+            s.iter().any(|k| k.edges().any(|(_, e)| e.dist > 1)),
+            "distance > 1 recurrences (FIR delays)"
+        );
+        assert!(
+            s.iter()
+                .any(|k| k.nodes().any(|(_, n)| n.op == OpKind::Select)),
+            "predicated kernels"
+        );
+    }
+
+    #[test]
+    fn fir_matches_direct_convolution() {
+        let taps = 3;
+        let g = fir(taps);
+        let n = 8usize;
+        let xs: Vec<Value> = (0..n).map(|i| (i * i + 1) as Value).collect();
+        let tape = Tape {
+            inputs: vec![xs.clone()],
+            memory: vec![],
+        };
+        let r = Interpreter::run(&g, n, &tape).unwrap();
+        for i in 0..n {
+            let mut want = 0;
+            for k in 0..taps {
+                let c = (k as Value) + 1;
+                let x = if i >= k { xs[i - k] } else { 0 };
+                want += c * x;
+            }
+            assert_eq!(r.outputs[0][i], want, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn sad_accumulates_abs_diffs() {
+        let g = sad();
+        let tape = Tape {
+            inputs: vec![vec![5, 0, 7], vec![2, 9, 7]],
+            memory: vec![],
+        };
+        let r = Interpreter::run(&g, 3, &tape).unwrap();
+        assert_eq!(r.outputs[0], vec![3, 12, 12]);
+    }
+
+    #[test]
+    fn threshold_select_behaviour() {
+        let g = threshold();
+        let tape = Tape {
+            inputs: vec![vec![150, 40]],
+            memory: vec![],
+        };
+        let r = Interpreter::run(&g, 2, &tape).unwrap();
+        assert_eq!(r.outputs[0], vec![50, 60]);
+    }
+
+    #[test]
+    fn yuv2rgb_grey_point() {
+        let g = yuv2rgb();
+        // u = v = 128 => r = g = b = y.
+        let tape = Tape {
+            inputs: vec![vec![77], vec![128], vec![128]],
+            memory: vec![],
+        };
+        let r = Interpreter::run(&g, 1, &tape).unwrap();
+        assert_eq!(r.outputs[0], vec![77]);
+        assert_eq!(r.outputs[1], vec![77]);
+        assert_eq!(r.outputs[2], vec![77]);
+    }
+
+    #[test]
+    fn yuv2rgb_clamps() {
+        let g = yuv2rgb();
+        let tape = Tape {
+            inputs: vec![vec![250], vec![128], vec![255]],
+            memory: vec![],
+        };
+        let r = Interpreter::run(&g, 1, &tape).unwrap();
+        assert_eq!(r.outputs[0], vec![255]); // clamped red
+    }
+
+    #[test]
+    fn horner_evaluates_polynomial() {
+        let g = horner4();
+        let tape = Tape {
+            inputs: vec![vec![2]],
+            memory: vec![],
+        };
+        let r = Interpreter::run(&g, 1, &tape).unwrap();
+        // ((((3*2 -1)*2 +4)*2 -1)*2 +5 = 59
+        assert_eq!(r.outputs[0], vec![59]);
+    }
+
+    #[test]
+    fn matmul_body_loads_and_accumulates() {
+        let g = matmul_body();
+        let mut memory = vec![0; 128];
+        for i in 0..4 {
+            memory[i] = (i + 1) as Value; // A = [1,2,3,4]
+            memory[64 + i] = 2; // B = [2,2,2,2]
+        }
+        let tape = Tape {
+            inputs: vec![],
+            memory,
+        };
+        let r = Interpreter::run(&g, 4, &tape).unwrap();
+        assert_eq!(r.outputs[0], vec![2, 6, 12, 20]);
+    }
+
+    #[test]
+    fn laplacian_stencil() {
+        let g = laplacian();
+        let tape = Tape {
+            inputs: vec![vec![10], vec![1], vec![2], vec![3], vec![4]],
+            memory: vec![],
+        };
+        let r = Interpreter::run(&g, 1, &tape).unwrap();
+        assert_eq!(r.outputs[0], vec![40 - 10]);
+    }
+
+    #[test]
+    fn fft_butterfly_with_unit_twiddle_shape() {
+        let g = fft_butterfly();
+        g.validate().unwrap();
+        assert_eq!(g.multiplier_ops(), 4);
+    }
+
+    #[test]
+    fn unrolled_mac_scales_linearly() {
+        let g4 = unrolled_mac(4);
+        let g8 = unrolled_mac(8);
+        assert!(g8.node_count() > g4.node_count());
+        let tape = Tape::generate(16, 2, |_, _| 1);
+        let r = Interpreter::run(&g8, 2, &tape).unwrap();
+        assert_eq!(r.outputs[0], vec![8, 16]);
+    }
+
+    #[test]
+    fn recurrence_kernels_have_recmii_one_with_unit_latency() {
+        for k in [dot_product(), accumulate(), sad()] {
+            assert_eq!(rec_mii(&k, &unit_latency), 1, "{}", k.name);
+        }
+        // IIR's recurrence passes through mul+shr+add: RecMII = 3.
+        assert_eq!(rec_mii(&iir1(), &unit_latency), 3);
+    }
+}

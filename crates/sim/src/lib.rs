@@ -1,0 +1,17 @@
+//! # cgra-sim
+//!
+//! Execution side of the framework: configuration-stream generation
+//! (the survey's Fig. 2c "configuration register" view), a
+//! cycle-accurate simulator that runs a mapped loop and checks it
+//! against the IR reference interpreter, an energy model, and the
+//! analytic architecture comparators behind the Fig. 1 reproduction.
+
+pub mod archcmp;
+pub mod config;
+pub mod cycle;
+pub mod energy;
+
+pub use archcmp::{architecture_comparison, ArchPoint};
+pub use config::{ConfigStream, Context};
+pub use cycle::{simulate, simulate_verified, SimError, SimStats};
+pub use energy::EnergyModel;

@@ -1,0 +1,409 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `max/min c·x  s.t.  A x {≤,=,≥} b,  x ≥ 0` on a dense
+//! tableau with Bland's anti-cycling rule. Intended for the small,
+//! dense LP relaxations produced by CGRA-mapping ILP encodings (a few
+//! hundred variables); no sparse machinery, no scaling heuristics.
+
+/// Constraint comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    Le,
+    Eq,
+    Ge,
+}
+
+/// A linear program.
+#[derive(Debug, Clone)]
+pub struct Lp {
+    num_vars: usize,
+    /// (coefficients over `0..num_vars`, cmp, rhs)
+    constraints: Vec<(Vec<f64>, Cmp, f64)>,
+    objective: Vec<f64>,
+    maximize: bool,
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    Optimal { x: Vec<f64>, objective: f64 },
+    Infeasible,
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+impl Lp {
+    /// An LP over `num_vars` non-negative variables.
+    pub fn new(num_vars: usize, maximize: bool) -> Self {
+        Lp {
+            num_vars,
+            constraints: Vec::new(),
+            objective: vec![0.0; num_vars],
+            maximize,
+        }
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Set the objective coefficient of variable `v`.
+    pub fn set_objective(&mut self, v: usize, c: f64) {
+        self.objective[v] = c;
+    }
+
+    /// Add `sum coeffs[i]·x_i  cmp  rhs`. `coeffs` is a sparse list of
+    /// `(var, coeff)` pairs.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], cmp: Cmp, rhs: f64) {
+        let mut row = vec![0.0; self.num_vars];
+        for &(v, c) in coeffs {
+            assert!(v < self.num_vars, "variable out of range");
+            row[v] += c;
+        }
+        self.constraints.push((row, cmp, rhs));
+    }
+
+    /// Solve with two-phase primal simplex.
+    pub fn solve(&self) -> LpResult {
+        let m = self.constraints.len();
+        let n = self.num_vars;
+
+        // Normalise to b >= 0.
+        let mut rows: Vec<(Vec<f64>, Cmp, f64)> = self.constraints.clone();
+        for (row, cmp, rhs) in &mut rows {
+            if *rhs < 0.0 {
+                for c in row.iter_mut() {
+                    *c = -*c;
+                }
+                *rhs = -*rhs;
+                *cmp = match *cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+        }
+
+        // Column layout: [orig 0..n | slack/surplus | artificial] + rhs.
+        let num_slack = rows
+            .iter()
+            .filter(|(_, c, _)| matches!(c, Cmp::Le | Cmp::Ge))
+            .count();
+        let num_art = rows
+            .iter()
+            .filter(|(_, c, _)| matches!(c, Cmp::Eq | Cmp::Ge))
+            .count();
+        let total = n + num_slack + num_art;
+        let mut t = vec![vec![0.0; total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut s_off = n;
+        let mut a_off = n + num_slack;
+        let mut artificials = Vec::new();
+
+        for (i, (row, cmp, rhs)) in rows.iter().enumerate() {
+            t[i][..n].copy_from_slice(row);
+            t[i][total] = *rhs;
+            match cmp {
+                Cmp::Le => {
+                    t[i][s_off] = 1.0;
+                    basis[i] = s_off;
+                    s_off += 1;
+                }
+                Cmp::Ge => {
+                    t[i][s_off] = -1.0;
+                    s_off += 1;
+                    t[i][a_off] = 1.0;
+                    basis[i] = a_off;
+                    artificials.push(a_off);
+                    a_off += 1;
+                }
+                Cmp::Eq => {
+                    t[i][a_off] = 1.0;
+                    basis[i] = a_off;
+                    artificials.push(a_off);
+                    a_off += 1;
+                }
+            }
+        }
+
+        // Phase 1: minimise sum of artificials, i.e. maximise their
+        // negation: cost -1 per artificial, so the reduced-cost row
+        // starts with +1 on artificial columns and is then priced out
+        // over the artificial basis rows.
+        if !artificials.is_empty() {
+            let mut z = vec![0.0; total + 1];
+            for &a in &artificials {
+                z[a] = 1.0;
+            }
+            for i in 0..m {
+                if artificials.contains(&basis[i]) {
+                    for j in 0..=total {
+                        z[j] -= t[i][j];
+                    }
+                }
+            }
+            if Self::iterate(&mut t, &mut z, &mut basis, total).is_err() {
+                // Unbounded phase 1 cannot happen with bounded objective.
+                return LpResult::Infeasible;
+            }
+            if z[total] < -EPS {
+                return LpResult::Infeasible;
+            }
+            // Drive any artificial still in the basis out (degenerate).
+            for i in 0..m {
+                if artificials.contains(&basis[i]) {
+                    // Find a non-artificial column with nonzero pivot.
+                    if let Some(j) = (0..n + num_slack).find(|&j| t[i][j].abs() > EPS) {
+                        Self::pivot(&mut t, &mut z, &mut basis, i, j, total);
+                    }
+                    // Otherwise the row is redundant (all zero): leave it.
+                }
+            }
+        }
+
+        // Phase 2: original objective (as maximisation).
+        let sign = if self.maximize { 1.0 } else { -1.0 };
+        let mut z = vec![0.0; total + 1];
+        for (j, &c) in self.objective.iter().enumerate() {
+            z[j] = -sign * c;
+        }
+        // Forbid artificials from re-entering by pricing them +inf-ish:
+        // simply zero their columns out of consideration by setting a
+        // large positive reduced cost.
+        for &a in &artificials {
+            z[a] = 1e18;
+        }
+        // Price out the current basis.
+        for i in 0..m {
+            let b = basis[i];
+            if z[b].abs() > EPS && z[b] < 1e17 {
+                let factor = z[b];
+                for j in 0..=total {
+                    z[j] -= factor * t[i][j];
+                }
+            }
+        }
+        if Self::iterate(&mut t, &mut z, &mut basis, total).is_err() {
+            return LpResult::Unbounded;
+        }
+
+        let mut x = vec![0.0; n];
+        for i in 0..m {
+            if basis[i] < n {
+                x[basis[i]] = t[i][total];
+            }
+        }
+        let objective: f64 = self
+            .objective
+            .iter()
+            .zip(&x)
+            .map(|(c, xv)| c * xv)
+            .sum();
+        LpResult::Optimal { x, objective }
+    }
+
+    /// Run simplex iterations until optimal (`Ok`) or unbounded (`Err`).
+    fn iterate(
+        t: &mut [Vec<f64>],
+        z: &mut [f64],
+        basis: &mut [usize],
+        total: usize,
+    ) -> Result<(), ()> {
+        let m = t.len();
+        // Generous iteration cap; Bland's rule guarantees termination.
+        for _ in 0..100_000 {
+            // Entering column: Bland — smallest index with negative
+            // reduced cost.
+            let enter = (0..total).find(|&j| z[j] < -EPS);
+            let Some(enter) = enter else {
+                return Ok(());
+            };
+            // Leaving row: min ratio, ties by smallest basis index.
+            let mut leave: Option<usize> = None;
+            let mut best = f64::INFINITY;
+            for i in 0..m {
+                if t[i][enter] > EPS {
+                    let ratio = t[i][total] / t[i][enter];
+                    if ratio < best - EPS
+                        || (ratio < best + EPS
+                            && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                    {
+                        best = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return Err(()); // unbounded
+            };
+            Self::pivot(t, z, basis, leave, enter, total);
+        }
+        // Numerical trouble: treat as optimal-at-current-point.
+        Ok(())
+    }
+
+    fn pivot(
+        t: &mut [Vec<f64>],
+        z: &mut [f64],
+        basis: &mut [usize],
+        row: usize,
+        col: usize,
+        total: usize,
+    ) {
+        let p = t[row][col];
+        debug_assert!(p.abs() > EPS);
+        for j in 0..=total {
+            t[row][j] /= p;
+        }
+        for i in 0..t.len() {
+            if i != row && t[i][col].abs() > EPS {
+                let f = t[i][col];
+                for j in 0..=total {
+                    t[i][j] -= f * t[row][j];
+                }
+            }
+        }
+        if z[col].abs() > EPS {
+            let f = z[col];
+            for j in 0..=total {
+                z[j] -= f * t[row][j];
+            }
+        }
+        basis[row] = col;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximisation() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  -> x=4, y=0, obj 12.
+        let mut lp = Lp::new(2, true);
+        lp.set_objective(0, 3.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(&[(0, 1.0), (1, 3.0)], Cmp::Le, 6.0);
+        match lp.solve() {
+            LpResult::Optimal { x, objective } => {
+                assert_near(objective, 12.0);
+                assert_near(x[0], 4.0);
+                assert_near(x[1], 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimisation_with_ge() {
+        // min x + y s.t. x + 2y >= 4, 3x + y >= 6 -> intersection (1.6, 1.2), obj 2.8.
+        let mut lp = Lp::new(2, false);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(&[(0, 1.0), (1, 2.0)], Cmp::Ge, 4.0);
+        lp.add_constraint(&[(0, 3.0), (1, 1.0)], Cmp::Ge, 6.0);
+        match lp.solve() {
+            LpResult::Optimal { x, objective } => {
+                assert_near(objective, 2.8);
+                assert_near(x[0], 1.6);
+                assert_near(x[1], 1.2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 3, x <= 2 -> obj 3.
+        let mut lp = Lp::new(2, true);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 3.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 2.0);
+        match lp.solve() {
+            LpResult::Optimal { objective, .. } => assert_near(objective, 3.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let mut lp = Lp::new(1, true);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(lp.solve(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no constraints.
+        let mut lp = Lp::new(1, true);
+        lp.set_objective(0, 1.0);
+        assert_eq!(lp.solve(), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // max -x s.t. -x <= -2 (i.e. x >= 2) -> x = 2, obj -2.
+        let mut lp = Lp::new(1, true);
+        lp.set_objective(0, -1.0);
+        lp.add_constraint(&[(0, -1.0)], Cmp::Le, -2.0);
+        match lp.solve() {
+            LpResult::Optimal { x, objective } => {
+                assert_near(x[0], 2.0);
+                assert_near(objective, -2.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate vertex: multiple constraints through origin.
+        let mut lp = Lp::new(2, true);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 0.0);
+        lp.add_constraint(&[(1, 1.0)], Cmp::Le, 0.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 0.0);
+        match lp.solve() {
+            LpResult::Optimal { objective, .. } => assert_near(objective, 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relaxation_of_binary_assignment() {
+        // Assignment relaxation: two items, two bins, each item in
+        // exactly one bin, each bin at most one item; max total profit.
+        // Profits: p(0,0)=5 p(0,1)=1 p(1,0)=2 p(1,1)=4 -> 9 (integral).
+        let var = |i: usize, b: usize| i * 2 + b;
+        let mut lp = Lp::new(4, true);
+        for (v, p) in [(var(0, 0), 5.0), (var(0, 1), 1.0), (var(1, 0), 2.0), (var(1, 1), 4.0)]
+        {
+            lp.set_objective(v, p);
+        }
+        for i in 0..2 {
+            lp.add_constraint(&[(var(i, 0), 1.0), (var(i, 1), 1.0)], Cmp::Eq, 1.0);
+        }
+        for b in 0..2 {
+            lp.add_constraint(&[(var(0, b), 1.0), (var(1, b), 1.0)], Cmp::Le, 1.0);
+        }
+        match lp.solve() {
+            LpResult::Optimal { objective, x } => {
+                assert_near(objective, 9.0);
+                assert_near(x[var(0, 0)], 1.0);
+                assert_near(x[var(1, 1)], 1.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

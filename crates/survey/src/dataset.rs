@@ -1,0 +1,336 @@
+//! The survey's reference corpus as data.
+//!
+//! Reference numbers match the published paper's bibliography. Table I
+//! cell memberships transcribe the paper's Table I exactly; timeline
+//! tags follow the era annotations of Figure 4 and the text of
+//! sections III-B/III-C/IV.
+
+use crate::paper::{Axis, PaperRecord, Tag, Technique};
+use Axis::*;
+use Tag::*;
+use Technique::*;
+
+fn rec(
+    ref_num: u8,
+    key: &'static str,
+    first_author: &'static str,
+    year: u16,
+    venue: &'static str,
+    title: &'static str,
+    cells: Vec<(Axis, Technique)>,
+    tags: Vec<Tag>,
+    mapping_focused: bool,
+) -> PaperRecord {
+    PaperRecord {
+        ref_num,
+        key,
+        first_author,
+        year,
+        venue,
+        title,
+        cells,
+        tags,
+        mapping_focused,
+    }
+}
+
+/// Every reference of the survey that the reproduction tracks.
+pub fn all_papers() -> Vec<PaperRecord> {
+    vec![
+        // --- Context: surveys and foundations (not in Fig. 4) -------
+        rec(2, "hartenstein01", "Hartenstein", 2001, "DATE",
+            "A decade of reconfigurable computing: a visionary retrospective",
+            vec![], vec![], false),
+        rec(3, "liu19", "Liu", 2019, "ACM CSUR",
+            "A survey of coarse-grained reconfigurable architecture and design",
+            vec![], vec![], false),
+        rec(5, "theodoridis07", "Theodoridis", 2007, "Springer",
+            "A survey of coarse-grain reconfigurable architectures and CAD tools",
+            vec![], vec![], false),
+        rec(6, "choi11", "Choi", 2011, "IPSJ T-SLDM",
+            "Coarse-grained reconfigurable array: architecture and application mapping",
+            vec![], vec![], false),
+        rec(7, "wijtvliet16", "Wijtvliet", 2016, "SAMOS",
+            "Coarse grained reconfigurable architectures in the past 25 years",
+            vec![], vec![], false),
+        rec(8, "podobas20", "Podobas", 2020, "IEEE Access",
+            "A survey on coarse-grained reconfigurable architectures from a performance perspective",
+            vec![], vec![], false),
+        rec(9, "desutter10", "De Sutter", 2010, "Springer",
+            "Coarse-grained reconfigurable array architectures",
+            vec![], vec![], false),
+        rec(10, "heysters03", "Heysters", 2003, "IPDPS",
+            "Mapping of DSP algorithms on the Montium architecture",
+            vec![], vec![], false),
+        rec(11, "cardoso10", "Cardoso", 2010, "ACM CSUR",
+            "Compiling for reconfigurable computing: a survey",
+            vec![], vec![], false),
+        rec(18, "wijtvliet22", "Wijtvliet", 2022, "Springer",
+            "Architectural model",
+            vec![], vec![], false),
+        rec(21, "goldstein00", "Goldstein", 2000, "IEEE Computer",
+            "PipeRench: a reconfigurable architecture and compiler",
+            vec![], vec![], false),
+        // --- Mapping methods: Table I members ------------------------
+        rec(12, "bondalapati98", "Bondalapati", 1998, "FPL",
+            "Mapping loops onto reconfigurable architectures",
+            vec![(TemporalMapping, Heuristic)],
+            vec![ModuloScheduling], true),
+        rec(13, "bondalapati01", "Bondalapati", 2001, "DAC",
+            "Parallelizing DSP nested loops on reconfigurable architectures",
+            vec![], vec![LoopUnrolling], true),
+        rec(14, "lee03", "Lee", 2003, "IEEE D&T",
+            "Compilation approach for coarse-grained reconfigurable architectures",
+            vec![(Binding, Heuristic)], vec![], true),
+        rec(15, "guo21", "Guo", 2021, "DAC",
+            "Formulating data-arrival synchronizers in integer linear programming for CGRA mapping",
+            vec![(Binding, Ilp), (Scheduling, Ilp)], vec![], true),
+        rec(16, "lee21", "Lee", 2021, "DAC",
+            "Ultra-fast CGRA scheduling to enable run time, programmable CGRAs",
+            vec![(TemporalMapping, Heuristic)], vec![], true),
+        rec(17, "miyasaka21", "Miyasaka", 2021, "VLSI-SoC",
+            "SAT-based mapping of data-flow graphs onto coarse-grained reconfigurable arrays",
+            vec![(TemporalMapping, Sat)], vec![], true),
+        rec(19, "kojima20", "Kojima", 2020, "IEEE TVLSI",
+            "GenMap: a genetic algorithmic approach for optimizing spatial mapping of CGRAs",
+            vec![(SpatialMapping, Ga)], vec![], true),
+        rec(20, "desutter08", "De Sutter", 2008, "LCTES/SIGPLAN",
+            "Placement-and-routing-based register allocation for coarse-grained reconfigurable arrays",
+            vec![], vec![ModuloScheduling, RegisterAware], true),
+        rec(22, "mei02", "Mei", 2002, "FPT",
+            "DRESC: a retargetable compiler for coarse-grained reconfigurable architectures",
+            vec![(TemporalMapping, Sa)], vec![ModuloScheduling], true),
+        rec(23, "yoon09", "Yoon", 2009, "IEEE TVLSI",
+            "A graph drawing based spatial mapping algorithm for coarse-grained reconfigurable architectures",
+            vec![(SpatialMapping, Heuristic), (SpatialMapping, Ilp)], vec![], true),
+        rec(24, "das16", "Das", 2016, "ISVLSI",
+            "A scalable design approach to efficiently map applications on CGRAs",
+            vec![(Binding, Heuristic), (Scheduling, Heuristic)],
+            vec![Scalability], true),
+        rec(25, "dave18ureca", "Dave", 2018, "DATE",
+            "URECA: unified register file for CGRAs",
+            vec![], vec![RegisterAware], true),
+        rec(26, "wijerathne21", "Wijerathne", 2021, "DATE",
+            "HiMap: fast and scalable high-quality mapping on CGRA via hierarchical abstraction",
+            vec![(TemporalMapping, Heuristic)], vec![Scalability], true),
+        rec(27, "chen14", "Chen", 2014, "ACM TRETS",
+            "Graph minor approach for application mapping on CGRAs",
+            vec![], vec![], true),
+        rec(28, "hamzeh12", "Hamzeh", 2012, "DAC",
+            "EPIMap: using epimorphism to map applications on CGRAs",
+            vec![(Binding, Heuristic), (Scheduling, Heuristic)],
+            vec![ModuloScheduling], true),
+        rec(29, "desutter08b", "De Sutter", 2008, "LCTES",
+            "Placement-and-routing-based register allocation for CGRAs (conference)",
+            vec![], vec![ModuloScheduling, RegisterAware], false),
+        rec(30, "hatanaka07", "Hatanaka", 2007, "IPDPS",
+            "A modulo scheduling algorithm for a coarse-grain reconfigurable array template",
+            vec![(SpatialMapping, Heuristic), (Binding, Sa)],
+            vec![ModuloScheduling], true),
+        rec(31, "li21chord", "Li", 2021, "IEEE TCAD",
+            "ChordMap: automated mapping of streaming applications onto CGRA",
+            vec![(SpatialMapping, Heuristic)], vec![Streaming], true),
+        rec(32, "weng20", "Weng", 2020, "ISCA",
+            "DSAGEN: synthesizing programmable spatial accelerators",
+            vec![(SpatialMapping, Sa)], vec![OpenSource], true),
+        rec(33, "gobieski21", "Gobieski", 2021, "ISCA",
+            "SNAFU: an ultra-low-power, energy-minimal CGRA-generation framework and architecture",
+            vec![(SpatialMapping, Sa)], vec![], true),
+        rec(34, "chin18", "Chin", 2018, "DAC",
+            "An architecture-agnostic integer linear programming approach to CGRA mapping",
+            vec![(SpatialMapping, Ilp)], vec![], true),
+        rec(35, "nowatzki13", "Nowatzki", 2013, "PLDI",
+            "A general constraint-centric scheduling framework for spatial architectures",
+            vec![(SpatialMapping, Ilp)], vec![], true),
+        rec(36, "zhao20", "Zhao", 2020, "IEEE TPDS",
+            "Towards higher performance and robust compilation for CGRA modulo scheduling",
+            vec![(TemporalMapping, Heuristic), (Scheduling, Heuristic)],
+            vec![ModuloScheduling], true),
+        rec(37, "park08", "Park", 2008, "PACT",
+            "Edge-centric modulo scheduling for coarse-grained reconfigurable architectures",
+            vec![(TemporalMapping, Heuristic)], vec![ModuloScheduling], true),
+        rec(38, "dave18ramp", "Dave", 2018, "DAC",
+            "RAMP: resource-aware mapping for CGRAs",
+            vec![(TemporalMapping, Heuristic)], vec![], true),
+        rec(39, "gu18", "Gu", 2018, "IEEE TPDS",
+            "Stress-aware loops mapping on CGRAs with dynamic multi-map reconfiguration",
+            vec![(TemporalMapping, Heuristic)], vec![], true),
+        rec(40, "canesche21", "Canesche", 2021, "IEEE TCAD",
+            "TRAVERSAL: a fast and adaptive graph-based placement and routing for CGRAs",
+            vec![(TemporalMapping, Heuristic)], vec![], true),
+        rec(41, "brenner06", "Brenner", 2006, "FPL",
+            "Optimal simultaneous scheduling, binding and routing for processor-like reconfigurable architectures",
+            vec![(TemporalMapping, Ilp)], vec![], true),
+        rec(42, "karunaratne18", "Karunaratne", 2018, "DAC",
+            "DNestMap: mapping deeply-nested loops on ultra-low power CGRAs",
+            vec![(TemporalMapping, BranchAndBound)], vec![], true),
+        rec(43, "raffin10", "Raffin", 2010, "DASIP",
+            "Scheduling, binding and routing system for a run-time reconfigurable operator based multimedia architecture",
+            vec![(TemporalMapping, Cp)], vec![], true),
+        rec(44, "donovick19", "Donovick", 2019, "ReConFig",
+            "Agile SMT-based mapping for CGRAs with restricted routing networks",
+            vec![(TemporalMapping, Smt)], vec![], true),
+        rec(45, "yin15", "Yin", 2015, "DATE",
+            "Joint affine transformation and loop pipelining for mapping nested loop on CGRAs",
+            vec![(Binding, Heuristic)], vec![Polyhedral, ModuloScheduling], true),
+        rec(46, "hamzeh13", "Hamzeh", 2013, "DAC",
+            "REGIMap: register-aware application mapping on CGRAs",
+            vec![(Binding, Heuristic), (Scheduling, Heuristic)],
+            vec![RegisterAware], true),
+        rec(47, "peyret14", "Peyret", 2014, "ASAP",
+            "Efficient application mapping on CGRAs based on backward simultaneous scheduling/binding and dynamic graph transformations",
+            vec![(Binding, Heuristic)], vec![], true),
+        rec(48, "lee11", "Lee", 2011, "IEEE TCAD",
+            "Mapping multi-domain applications onto coarse-grained reconfigurable architectures",
+            vec![(Binding, Qea), (Binding, Ilp), (Scheduling, Heuristic)],
+            vec![], true),
+        rec(49, "friedman09", "Friedman", 2009, "FPGA",
+            "SPR: an architecture-adaptive CGRA mapping tool",
+            vec![(Binding, Sa)], vec![ModuloScheduling], true),
+        rec(50, "schulz14", "Schulz", 2014, "ReConFig",
+            "Rotated parallel mapping: a novel approach for mapping data parallel applications on CGRAs",
+            vec![(Binding, Sa), (Scheduling, Heuristic)], vec![], true),
+        rec(51, "bansal03", "Bansal", 2003, "WASP/MICRO",
+            "Analysis of the performance of coarse-grain reconfigurable architectures with different processing element configurations",
+            vec![(Scheduling, Heuristic)], vec![], true),
+        rec(52, "balasubramanian20", "Balasubramanian", 2020, "IEEE TCAD",
+            "CRIMSON: compute-intensive loop acceleration by randomized iterative modulo scheduling",
+            vec![(Scheduling, Heuristic)], vec![ModuloScheduling], true),
+        rec(53, "mu21", "Mu", 2021, "IEEE Access",
+            "Routability-enhanced scheduling for application mapping on CGRAs",
+            vec![(Scheduling, Ilp)], vec![], true),
+        // --- Control flow, memory, loops (text sections) -------------
+        rec(54, "das19", "Das", 2019, "IEEE TCAD",
+            "An energy-efficient integrated programmable array accelerator and compilation flow",
+            vec![], vec![], true),
+        rec(55, "yuan21", "Yuan", 2021, "IEEE TCAD",
+            "Dynamic-II pipeline: compiling loops with irregular branches on static-scheduling CGRA",
+            vec![], vec![DualIssue, ModuloScheduling], true),
+        rec(56, "anido02", "Anido", 2002, "DSD",
+            "Improving the operation autonomy of SIMD processing elements by using guarded instructions and pseudo branches",
+            vec![], vec![FullPredication], true),
+        rec(57, "chang08", "Chang", 2008, "ISOCC",
+            "Mapping control intensive kernels onto coarse-grained reconfigurable array architecture",
+            vec![], vec![PartialPredication], true),
+        rec(58, "hamzeh14", "Hamzeh", 2014, "DAC",
+            "Branch-aware loop mapping on CGRAs",
+            vec![], vec![DualIssue], true),
+        rec(59, "karunaratne19", "Karunaratne", 2019, "ICCAD",
+            "4D-CGRA: introducing branch dimension to spatio-temporal application mapping on CGRAs",
+            vec![], vec![DualIssue, ModuloScheduling], true),
+        rec(60, "das17", "Das", 2017, "ASP-DAC",
+            "Efficient mapping of CDFG onto coarse-grained reconfigurable array architectures",
+            vec![], vec![DirectMapping], true),
+        rec(61, "mei03", "Mei", 2003, "DATE",
+            "Exploiting loop-level parallelism on coarse-grained reconfigurable architectures using modulo scheduling",
+            vec![], vec![ModuloScheduling], true),
+        rec(62, "balasubramanian18", "Balasubramanian", 2018, "DATE",
+            "LASER: a hardware/software approach to accelerate complicated loops on CGRAs",
+            vec![], vec![HardwareLoops], true),
+        rec(63, "sunny21", "Sunny", 2021, "ARC",
+            "Hardware based loop optimization for CGRA architectures",
+            vec![], vec![HardwareLoops], true),
+        rec(64, "vadivel17", "Vadivel", 2017, "DSD",
+            "Loop overhead reduction techniques for coarse grained reconfigurable architectures",
+            vec![], vec![HardwareLoops], true),
+        rec(65, "li21mem", "Li", 2021, "ASP-DAC",
+            "Combining memory partitioning and subtask generation for parallel data access on CGRAs",
+            vec![], vec![MemoryAware], true),
+        rec(66, "kim11", "Kim", 2011, "ACM TODAES",
+            "Memory access optimization in compilation for coarse-grained reconfigurable architectures",
+            vec![], vec![MemoryAware], true),
+        rec(67, "zhao18", "Zhao", 2018, "DATE",
+            "Optimizing the data placement and transformation for multi-bank CGRA computing system",
+            vec![], vec![MemoryAware], true),
+        rec(68, "yin17", "Yin", 2017, "IEEE TPDS",
+            "Conflict-free loop mapping for coarse-grained reconfigurable architecture with multi-bank memory",
+            vec![], vec![MemoryAware], true),
+        // --- Trends (Section IV) --------------------------------------
+        rec(69, "jin14", "Jin", 2014, "ICCE",
+            "Low-power reconfigurable audio processor for mobile devices",
+            vec![], vec![], false),
+        rec(71, "xilinx20", "Gaide", 2020, "Embedded World",
+            "Versal AI engine architecture",
+            vec![], vec![], false),
+        rec(72, "sambanova21", "SambaNova", 2021, "Whitepaper",
+            "Accelerated computing with a reconfigurable dataflow architecture",
+            vec![], vec![], false),
+        rec(73, "zhang21", "Zhang", 2021, "ISCA",
+            "SARA: scaling a reconfigurable dataflow accelerator",
+            vec![], vec![Scalability], true),
+        rec(74, "liu19drl", "Liu", 2019, "IEEE TCAD",
+            "Data-flow graph mapping optimization for CGRA with deep reinforcement learning",
+            vec![], vec![MachineLearning], true),
+        rec(75, "anderson21", "Anderson", 2021, "ASAP",
+            "CGRA-ME: an open-source framework for CGRA architecture and CAD research",
+            vec![], vec![OpenSource], false),
+        rec(76, "tan21", "Tan", 2021, "DATE",
+            "AURORA: automated refinement of coarse-grained reconfigurable accelerators",
+            vec![], vec![OpenSource], false),
+        rec(77, "podobas20b", "Podobas", 2020, "ASAP",
+            "A template-based framework for exploring coarse-grained reconfigurable architectures",
+            vec![], vec![OpenSource], false),
+        rec(78, "nicol17", "Nicol", 2017, "Whitepaper",
+            "A coarse grain reconfigurable array for statically scheduled data flow computing",
+            vec![], vec![Streaming], false),
+    ]
+}
+
+/// Look a record up by its survey reference number.
+pub fn by_ref(n: u8) -> Option<PaperRecord> {
+    all_papers().into_iter().find(|p| p.ref_num == n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_numbers_unique() {
+        let papers = all_papers();
+        let mut nums: Vec<u8> = papers.iter().map(|p| p.ref_num).collect();
+        nums.sort_unstable();
+        let before = nums.len();
+        nums.dedup();
+        assert_eq!(before, nums.len());
+    }
+
+    #[test]
+    fn corpus_spans_two_decades() {
+        let papers = all_papers();
+        let years: Vec<u16> = papers
+            .iter()
+            .filter(|p| p.mapping_focused)
+            .map(|p| p.year)
+            .collect();
+        assert!(years.iter().any(|&y| y <= 2001), "early papers present");
+        assert!(years.iter().any(|&y| y == 2021), "2021 papers present");
+    }
+
+    #[test]
+    fn every_table1_paper_is_mapping_focused() {
+        for p in all_papers() {
+            if !p.cells.is_empty() {
+                assert!(p.mapping_focused, "[{}] {}", p.ref_num, p.key);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_ref() {
+        let dresc = by_ref(22).unwrap();
+        assert_eq!(dresc.key, "mei02");
+        assert_eq!(dresc.year, 2002);
+        assert!(by_ref(200).is_none());
+    }
+
+    #[test]
+    fn corpus_size_matches_survey_scale() {
+        // The paper has 78 references; we track the scientific corpus
+        // (every mapping-relevant one plus the context entries).
+        let papers = all_papers();
+        assert!(papers.len() >= 60, "only {} records", papers.len());
+        let mapping = papers.iter().filter(|p| p.mapping_focused).count();
+        assert!(mapping >= 45, "only {mapping} mapping-focused records");
+    }
+}

@@ -1,0 +1,21 @@
+//! # cgra-survey
+//!
+//! The bibliographic side of the reproduction: the survey's reference
+//! corpus encoded as data, with generators that re-derive its **Table
+//! I** (the classification of binding/scheduling techniques) and
+//! **Figure 4** (the publications-per-year timeline with technique-era
+//! annotations).
+//!
+//! The dataset mirrors the paper's own citations — reference numbers
+//! `[n]` match the published numbering — so the regenerated table can
+//! be checked cell by cell against the original.
+
+pub mod dataset;
+pub mod paper;
+pub mod table1;
+pub mod timeline;
+
+pub use dataset::all_papers;
+pub use paper::{Axis, PaperRecord, Tag, Technique};
+pub use table1::{render_table1, table1_cells, Table1};
+pub use timeline::{era_spans, histogram, render_timeline, TimelinePoint};

@@ -1,0 +1,194 @@
+//! Regeneration of the survey's Table I: "A review of binding and
+//! scheduling techniques for automated spatial and temporal mapping of
+//! applications on CGRAs."
+
+use crate::dataset::all_papers;
+use crate::paper::{Axis, Technique};
+use std::collections::BTreeMap;
+
+/// The regenerated table: per (axis, technique) cell, the survey
+/// reference numbers it contains, sorted.
+pub type Table1 = BTreeMap<(Axis, Technique), Vec<u8>>;
+
+/// Build the table from the dataset.
+pub fn table1_cells() -> Table1 {
+    let mut t: Table1 = BTreeMap::new();
+    for p in all_papers() {
+        for &(axis, tech) in &p.cells {
+            t.entry((axis, tech)).or_default().push(p.ref_num);
+        }
+    }
+    for refs in t.values_mut() {
+        refs.sort_unstable();
+        refs.dedup();
+    }
+    t
+}
+
+/// Render the table in the paper's layout (rows: spatial / temporal /
+/// binding / scheduling; columns: heuristics, meta-heuristics, exact).
+pub fn render_table1() -> String {
+    use std::fmt::Write as _;
+    let t = table1_cells();
+    let cell = |axis: Axis, tech: Technique| -> String {
+        match t.get(&(axis, tech)) {
+            Some(refs) => refs
+                .iter()
+                .map(|r| format!("[{r}]"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            None => String::new(),
+        }
+    };
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "TABLE I: binding and scheduling techniques for automated spatial and temporal mapping"
+    );
+    let _ = writeln!(
+        s,
+        "{:<18} | {:<28} | {:<12} | {:<20} | {:<24} | {}",
+        "", "Heuristics", "Population", "Local search", "ILP / B&B", "CSP (CP/SAT/SMT)"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(130));
+    for axis in Axis::all() {
+        let pop = [cell(axis, Technique::Ga), cell(axis, Technique::Qea)]
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("  QEA ");
+        let pop = if pop.is_empty() {
+            pop
+        } else if t.contains_key(&(axis, Technique::Ga)) {
+            format!("GA {pop}")
+        } else {
+            format!("QEA {pop}")
+        };
+        let exact1 = {
+            let ilp = cell(axis, Technique::Ilp);
+            let bnb = cell(axis, Technique::BranchAndBound);
+            match (ilp.is_empty(), bnb.is_empty()) {
+                (false, false) => format!("ILP {ilp} B&B {bnb}"),
+                (false, true) => format!("ILP {ilp}"),
+                (true, false) => format!("B&B {bnb}"),
+                (true, true) => String::new(),
+            }
+        };
+        let csp = {
+            let mut parts = Vec::new();
+            for (name, tech) in [
+                ("CP", Technique::Cp),
+                ("SAT", Technique::Sat),
+                ("SMT", Technique::Smt),
+            ] {
+                let c = cell(axis, tech);
+                if !c.is_empty() {
+                    parts.push(format!("{name} {c}"));
+                }
+            }
+            parts.join(" ")
+        };
+        let sa = {
+            let c = cell(axis, Technique::Sa);
+            if c.is_empty() {
+                c
+            } else {
+                format!("SA {c}")
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{:<18} | {:<28} | {:<12} | {:<20} | {:<24} | {}",
+            axis.label(),
+            cell(axis, Technique::Heuristic),
+            pop,
+            sa,
+            exact1,
+            csp
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{Axis::*, Technique::*};
+
+    /// Every cell of the published Table I, transcribed from the paper.
+    fn expected() -> Vec<((Axis, Technique), Vec<u8>)> {
+        vec![
+            ((SpatialMapping, Heuristic), vec![23, 30, 31]),
+            ((SpatialMapping, Ga), vec![19]),
+            ((SpatialMapping, Sa), vec![32, 33]),
+            ((SpatialMapping, Ilp), vec![23, 34, 35]),
+            ((TemporalMapping, Heuristic), vec![12, 16, 26, 36, 37, 38, 39, 40]),
+            ((TemporalMapping, Sa), vec![22]),
+            ((TemporalMapping, Ilp), vec![41]),
+            ((TemporalMapping, BranchAndBound), vec![42]),
+            ((TemporalMapping, Cp), vec![43]),
+            ((TemporalMapping, Sat), vec![17]),
+            ((TemporalMapping, Smt), vec![44]),
+            ((Binding, Heuristic), vec![14, 24, 28, 45, 46, 47]),
+            ((Binding, Qea), vec![48]),
+            ((Binding, Sa), vec![30, 49, 50]),
+            ((Binding, Ilp), vec![15, 48]),
+            ((Scheduling, Heuristic), vec![24, 28, 36, 46, 48, 50, 51, 52]),
+            ((Scheduling, Ilp), vec![15, 53]),
+        ]
+    }
+
+    #[test]
+    fn regenerated_table_matches_the_paper_cell_by_cell() {
+        let got = table1_cells();
+        let want = expected();
+        assert_eq!(got.len(), want.len(), "cell count");
+        for (key, refs) in want {
+            let cell = got
+                .get(&key)
+                .unwrap_or_else(|| panic!("missing cell {key:?}"));
+            assert_eq!(cell, &refs, "cell {key:?}");
+        }
+    }
+
+    #[test]
+    fn approximate_vs_exact_split() {
+        // The paper's headline classification: heuristics + meta on the
+        // approximate side, ILP/B&B/CSP on the exact side.
+        let t = table1_cells();
+        let approx: usize = t
+            .iter()
+            .filter(|((_, tech), _)| !tech.is_exact())
+            .map(|(_, refs)| refs.len())
+            .sum();
+        let exact: usize = t
+            .iter()
+            .filter(|((_, tech), _)| tech.is_exact())
+            .map(|(_, refs)| refs.len())
+            .sum();
+        assert!(approx > exact, "the survey's corpus skews approximate");
+        assert!(exact >= 8, "all five exact families are populated");
+    }
+
+    #[test]
+    fn render_contains_every_reference() {
+        let s = render_table1();
+        for (_, refs) in expected() {
+            for r in refs {
+                assert!(s.contains(&format!("[{r}]")), "[{r}] missing:\n{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_row_covers_every_exact_family() {
+        let t = table1_cells();
+        for tech in [Ilp, BranchAndBound, Cp, Sat, Smt] {
+            assert!(
+                t.contains_key(&(TemporalMapping, tech)),
+                "{tech:?} missing from the temporal row"
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Mapper comparison — the empirical counterpart of the survey's
+//! Table I, on a single page.
+//!
+//! Runs every implemented mapping technique on the classic kernel
+//! suite and prints success rate, mean II, and compile time per
+//! technique family — the quantitative form of the survey's
+//! qualitative claims (exact methods are slow but strong, heuristics
+//! are fast but may fail, meta-heuristics sit in between).
+//!
+//! ```sh
+//! cargo run --release --example mapper_comparison
+//! ```
+
+use cgra::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let kernels = kernels::suite();
+    let cfg = MapConfig {
+        time_limit: Duration::from_secs(10),
+        ..MapConfig::default()
+    };
+    let mappers = all_mappers();
+    println!(
+        "mapping {} kernels with {} techniques on {} ...",
+        kernels.len(),
+        mappers.len(),
+        fabric.name
+    );
+
+    let entries = run_portfolio(&mappers, &kernels, &fabric, &cfg);
+    let summary = cgra::mapper::portfolio::summarise(&entries);
+
+    println!(
+        "\n{:<16} {:<28} {:>9} {:>8} {:>10} {:>10}",
+        "mapper", "family", "success", "mean II", "mean hops", "ms/kernel"
+    );
+    println!("{}", "-".repeat(88));
+    for s in &summary {
+        println!(
+            "{:<16} {:<28} {:>6}/{:<2} {:>8} {:>10} {:>10.1}",
+            s.mapper,
+            s.family_label,
+            s.successes,
+            s.attempts,
+            s.mean_ii
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            s.mean_hops
+                .map(|x| format!("{x:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            s.mean_compile_ms
+        );
+    }
+
+    // Per-kernel view for the workhorse vs one exact method.
+    println!("\nper-kernel II (modulo-list vs sat):");
+    for k in &kernels {
+        let ii = |name: &str| {
+            entries
+                .iter()
+                .find(|e| e.mapper == name && e.kernel == k.name)
+                .and_then(|e| e.metrics.as_ref())
+                .map(|m| m.ii.to_string())
+                .unwrap_or_else(|| "fail".into())
+        };
+        println!(
+            "  {:<14} modulo-list={:<5} sat={}",
+            k.name,
+            ii("modulo-list"),
+            ii("sat")
+        );
+    }
+
+    // The taxonomy itself, straight from the survey corpus.
+    println!("\n{}", survey::render_table1());
+}

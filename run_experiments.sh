@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerate every artifact of the survey reproduction into results/.
+set -uo pipefail
+cd "$(dirname "$0")"
+mkdir -p results
+for exp in fig2 fig4 fig3 fig1 table1 ablations scalability; do
+  echo "=== $exp ==="
+  cargo run --release -p cgra-bench --bin "$exp" 2>&1 | tee "results/$exp.txt"
+done

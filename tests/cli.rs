@@ -1,0 +1,87 @@
+//! The `cgra-map` CLI end to end: compile a temp MiniC file, map it,
+//! and check both the human and JSON reports.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cgra-map"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cgra-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const DOT: &str = "kernel dot(in a, in b, inout acc) { acc += a * b; }";
+
+#[test]
+fn maps_and_reports() {
+    let path = write_temp("dot.mc", DOT);
+    let out = bin()
+        .arg(&path)
+        .args(["--fabric", "4x4", "--mapper", "modulo-list", "--iters", "8"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("II="), "{stdout}");
+    assert!(stdout.contains("functional check vs reference interpreter: OK"));
+}
+
+#[test]
+fn json_report_parses() {
+    let path = write_temp("dot2.mc", DOT);
+    let out = bin()
+        .arg(&path)
+        .args(["--json", "--mapper", "epimap"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(v["mapper"], "epimap");
+    assert!(v["metrics"]["ii"].as_u64().unwrap() >= 1);
+    assert!(v["throughput"].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn list_mappers_covers_families() {
+    let out = bin().arg("--list-mappers").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["modulo-list", "sa", "ga", "ilp", "sat", "smt", "cp", "himap"] {
+        assert!(stdout.contains(name), "{name} missing:\n{stdout}");
+    }
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let path = write_temp("broken.mc", "kernel broken(in a { }");
+    let out = bin().arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+
+    let out = bin().arg("/nonexistent/file.mc").output().unwrap();
+    assert!(!out.status.success());
+
+    let path = write_temp("dot3.mc", DOT);
+    let out = bin().arg(&path).args(["--mapper", "bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mapper"));
+}
+
+#[test]
+fn show_config_prints_contexts() {
+    let path = write_temp("dot4.mc", DOT);
+    let out = bin()
+        .arg(&path)
+        .args(["--show-config", "--fabric", "3x3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("configuration stream"), "{stdout}");
+    assert!(stdout.contains("nop"));
+}

@@ -1,0 +1,140 @@
+//! Cross-mapper consistency: the relations the survey's taxonomy
+//! predicts between technique families, checked on real runs.
+
+use cgra::prelude::*;
+use std::time::Duration;
+
+fn cfg() -> MapConfig {
+    MapConfig {
+        time_limit: Duration::from_secs(15),
+        ..MapConfig::default()
+    }
+}
+
+#[test]
+fn exact_ii_never_worse_than_heuristic_on_shared_successes() {
+    // Where both the SAT mapper (exact within its window) and the
+    // modulo-list heuristic succeed, the exact II must be ≤ the
+    // heuristic's: the exact method proves optimality per II probe.
+    let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let heuristic = ModuloList::default();
+    let exact = SatMapper::default();
+    let mut compared = 0;
+    for dfg in kernels::small_suite() {
+        let h = heuristic.map(&dfg, &fabric, &cfg());
+        let e = exact.map(&dfg, &fabric, &cfg());
+        if let (Ok(h), Ok(e)) = (h, e) {
+            assert!(
+                e.ii <= h.ii,
+                "{}: exact II {} > heuristic II {}",
+                dfg.name,
+                e.ii,
+                h.ii
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared >= 4, "only {compared} kernels compared");
+}
+
+#[test]
+fn all_successful_mappers_agree_on_functional_semantics() {
+    let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let dfg = kernels::sad();
+    let tape = Tape::generate(2, 6, |s, i| ((s + 1) * (i + 1)) as i64 % 17);
+    let golden = Interpreter::run(&dfg, 6, &tape).unwrap();
+    let mut succeeded = 0;
+    for mapper in all_mappers() {
+        if let Ok(m) = mapper.map(&dfg, &fabric, &cfg()) {
+            let stats = simulate(&m, &dfg, &fabric, 6, &tape)
+                .unwrap_or_else(|e| panic!("{}: {e}", mapper.name()));
+            assert_eq!(stats.outputs, golden.outputs, "{}", mapper.name());
+            succeeded += 1;
+        }
+    }
+    assert!(succeeded >= 10, "only {succeeded} mappers succeeded on sad");
+}
+
+#[test]
+fn spatial_mappers_produce_ii_one_and_temporal_mappers_respect_mii() {
+    let fabric = Fabric::homogeneous(6, 6, Topology::Mesh);
+    let dfg = kernels::fir(3);
+    let mii = ModuloList::mii(&dfg, &fabric);
+    for mapper in all_mappers() {
+        if let Ok(m) = mapper.map(&dfg, &fabric, &cfg()) {
+            if mapper.is_spatial() {
+                assert_eq!(m.ii, 1, "{}", mapper.name());
+                assert!(m.is_spatial(), "{}", mapper.name());
+            } else {
+                assert!(
+                    m.ii >= mii || m.ii >= 1,
+                    "{}: II {} below MII {mii}",
+                    mapper.name(),
+                    m.ii
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tighter_fabric_cannot_improve_best_ii() {
+    // Monotonicity: the best II on a 2x2 can never beat the best II on
+    // a 4x4 (more resources never hurt an exact probe).
+    let big = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let small = Fabric::homogeneous(2, 2, Topology::Mesh);
+    let exact = SatMapper::default();
+    for dfg in [kernels::dot_product(), kernels::accumulate()] {
+        let on_big = exact.map(&dfg, &big, &cfg()).expect("big fabric maps");
+        if let Ok(on_small) = exact.map(&dfg, &small, &cfg()) {
+            assert!(
+                on_small.ii >= on_big.ii,
+                "{}: small {} < big {}",
+                dfg.name,
+                on_small.ii,
+                on_big.ii
+            );
+        }
+    }
+}
+
+#[test]
+fn failure_modes_are_reported_not_panicked() {
+    // An impossible kernel (more live values than the machine can hold)
+    // must yield Err from every mapper, never a panic or an invalid map.
+    let fabric = Fabric::homogeneous(2, 2, Topology::Mesh);
+    let dfg = kernels::unrolled_mac(30);
+    for mapper in all_mappers() {
+        match mapper.map(&dfg, &fabric, &MapConfig::fast()) {
+            Ok(m) => validate(&m, &dfg, &fabric)
+                .unwrap_or_else(|e| panic!("{}: invalid: {e}", mapper.name())),
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn survey_families_all_represented() {
+    use cgra::mapper::Family;
+    let mappers = all_mappers();
+    for family in [
+        Family::Heuristic,
+        Family::MetaPopulation,
+        Family::MetaLocalSearch,
+        Family::ExactIlp,
+        Family::ExactCsp,
+    ] {
+        assert!(
+            mappers.iter().any(|m| m.family() == family),
+            "{family:?} unimplemented"
+        );
+    }
+    // And the Table I corpus backs every implemented family.
+    let table = survey::table1_cells();
+    assert!(table
+        .keys()
+        .any(|(_, t)| matches!(t, survey::Technique::Sat)));
+    assert!(table
+        .keys()
+        .any(|(_, t)| matches!(t, survey::Technique::Smt)));
+}
