@@ -1,0 +1,67 @@
+//! Telemetry overhead benches: the disabled sink must be free.
+//!
+//! The observability contract (see DESIGN.md) is that a `Telemetry`
+//! handle with no sink costs a null check on the hot paths. These
+//! benches compare the router and the modulo-list scheduler with the
+//! sink disabled, enabled, and (for the router) against the pre-sink
+//! `route_all` entry point, so a regression in the disabled path shows
+//! up as a gap between the `off` and `baseline` rows.
+
+use cgra::mapper::mapping::Placement;
+use cgra::mapper::route::{route_all, route_all_with};
+use cgra::mapper::telemetry::Telemetry;
+use cgra::prelude::*;
+use cgra_ir::graph::{asap, unit_latency};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_router_overhead(c: &mut Criterion) {
+    let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let dfg = kernels::sobel();
+    let times = asap(&dfg, &unit_latency);
+    let place: Vec<Placement> = dfg
+        .node_ids()
+        .map(|n| Placement {
+            pe: PeId((n.0 * 5 % 16) as u16),
+            time: times[n.index()] * 3,
+        })
+        .collect();
+    let mut group = c.benchmark_group("telemetry_router");
+    group.sample_size(30).measurement_time(Duration::from_secs(6));
+    group.bench_function("baseline", |b| {
+        b.iter(|| criterion::black_box(route_all(&fabric, &dfg, &place, 8, 10, true)))
+    });
+    let off = Telemetry::off();
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            criterion::black_box(route_all_with(&fabric, &dfg, &place, 8, 10, true, &off))
+        })
+    });
+    let on = Telemetry::enabled();
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            criterion::black_box(route_all_with(&fabric, &dfg, &place, 8, 10, true, &on))
+        })
+    });
+    group.finish();
+}
+
+fn bench_modulo_list_overhead(c: &mut Criterion) {
+    let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let dfg = kernels::fir(8);
+    let mut group = c.benchmark_group("telemetry_modulo_list");
+    group.sample_size(30).measurement_time(Duration::from_secs(6));
+    for (label, tele) in [("off", Telemetry::off()), ("on", Telemetry::enabled())] {
+        let cfg = MapConfig {
+            telemetry: tele,
+            ..MapConfig::fast()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| criterion::black_box(ModuloList::default().map(&dfg, &fabric, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_router_overhead, bench_modulo_list_overhead);
+criterion_main!(benches);

@@ -39,19 +39,23 @@ fn main() {
 
     println!("\nEMPIRICAL TABLE I — {} kernels on {}", kernels.len(), fabric.name);
     println!(
-        "{:<16} {:<28} {:>9} {:>9} {:>11}",
-        "mapper", "family", "success", "mean II", "ms/kernel"
+        "{:<16} {:<28} {:>9} {:>9} {:>11} {:>10} {:>12} {:>12}",
+        "mapper", "family", "success", "mean II", "ms/kernel", "IIs tried", "placements", "backtracks"
     );
-    println!("{}", "-".repeat(78));
+    println!("{}", "-".repeat(116));
+    let eff = |x: Option<f64>| x.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into());
     for s in &summary {
         println!(
-            "{:<16} {:<28} {:>6}/{:<2} {:>9} {:>11.1}",
+            "{:<16} {:<28} {:>6}/{:<2} {:>9} {:>11.1} {:>10} {:>12} {:>12}",
             s.mapper,
             s.family_label,
             s.successes,
             s.attempts,
             s.mean_ii.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
-            s.mean_compile_ms
+            s.mean_compile_ms,
+            eff(s.mean_ii_attempts),
+            eff(s.mean_placements),
+            eff(s.mean_backtracks),
         );
     }
 

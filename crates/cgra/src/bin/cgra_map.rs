@@ -4,11 +4,16 @@
 //! ```text
 //! cgra-map <file.mc> [--kernel NAME] [--fabric RxC] [--topology mesh|meshplus|torus|onehop]
 //!          [--mapper NAME] [--adres] [--iters N] [--max-ii N] [--seed N]
+//!          [--time-limit SECS] [--effort N] [--horizon N]
+//!          [--trace FILE] [--profile]
 //!          [--json] [--show-config] [--list-mappers]
 //! ```
 
+use cgra::mapper::telemetry::{Counter, Phase, Telemetry};
 use cgra::prelude::*;
+use std::io::Write;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     file: Option<String>,
@@ -21,6 +26,11 @@ struct Options {
     iters: usize,
     max_ii: u32,
     seed: u64,
+    time_limit: Option<u64>,
+    effort: Option<u32>,
+    horizon: Option<u32>,
+    trace: Option<String>,
+    profile: bool,
     json: bool,
     show_config: bool,
     list_mappers: bool,
@@ -37,6 +47,11 @@ fn usage() -> &'static str {
        --iters N           iterations to simulate (default 16)\n\
        --max-ii N          II search bound (default 16)\n\
        --seed N            RNG seed for stochastic mappers\n\
+       --time-limit SECS   wall-clock mapping budget in seconds\n\
+       --effort N          mapper-specific effort knob (SA sweeps, GA generations, ...)\n\
+       --horizon N         schedule-horizon cap as a multiple of the critical path\n\
+       --trace FILE        write a JSONL search trace (phase spans + counters)\n\
+       --profile           print a search-effort profile (counters + phase times)\n\
        --json              machine-readable report\n\
        --show-config       print the configuration stream (Fig. 2c view)\n\
        --list-mappers      list available mapping techniques"
@@ -54,6 +69,11 @@ fn parse_args() -> Result<Options, String> {
         iters: 16,
         max_ii: 16,
         seed: 0xC612A,
+        time_limit: None,
+        effort: None,
+        horizon: None,
+        trace: None,
+        profile: false,
         json: false,
         show_config: false,
         list_mappers: false,
@@ -87,6 +107,18 @@ fn parse_args() -> Result<Options, String> {
             "--iters" => opts.iters = need("--iters")?.parse().map_err(|e| format!("{e}"))?,
             "--max-ii" => opts.max_ii = need("--max-ii")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => opts.seed = need("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--time-limit" => {
+                opts.time_limit =
+                    Some(need("--time-limit")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--effort" => {
+                opts.effort = Some(need("--effort")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--horizon" => {
+                opts.horizon = Some(need("--horizon")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--trace" => opts.trace = Some(need("--trace")?),
+            "--profile" => opts.profile = true,
             "--json" => opts.json = true,
             "--show-config" => opts.show_config = true,
             "--list-mappers" => opts.list_mappers = true,
@@ -119,14 +151,29 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let file = opts.file.as_ref().ok_or_else(|| usage().to_string())?;
+
+    // One sink for the whole pipeline when observability is requested;
+    // disabled otherwise (every telemetry call is then a null check).
+    let tele = if opts.trace.is_some() || opts.profile {
+        Telemetry::enabled()
+    } else {
+        Telemetry::off()
+    };
+
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-    let compiled = match &opts.kernel {
-        Some(name) => frontend::compile_kernel_named(&src, name),
-        None => frontend::compile_kernel(&src),
-    }
-    .map_err(|e| format!("{file}: {e}"))?;
+    let compiled = {
+        let _span = tele.span(Phase::Parse);
+        match &opts.kernel {
+            Some(name) => frontend::compile_kernel_named(&src, name),
+            None => frontend::compile_kernel(&src),
+        }
+        .map_err(|e| format!("{file}: {e}"))?
+    };
     let mut dfg = compiled.dfg;
-    passes::optimize(&mut dfg);
+    {
+        let _span = tele.span(Phase::Optimize);
+        passes::optimize(&mut dfg);
+    }
 
     let fabric = if opts.adres {
         Fabric::adres_like(opts.rows, opts.cols)
@@ -137,10 +184,18 @@ fn run() -> Result<(), String> {
         .iter()
         .find(|m| m.name() == opts.mapper)
         .ok_or_else(|| format!("unknown mapper `{}` (try --list-mappers)", opts.mapper))?;
+    let defaults = MapConfig::default();
     let cfg = MapConfig {
         max_ii: opts.max_ii,
         seed: opts.seed,
-        ..MapConfig::default()
+        time_limit: opts
+            .time_limit
+            .map(Duration::from_secs)
+            .unwrap_or(defaults.time_limit),
+        effort: opts.effort.unwrap_or(defaults.effort),
+        horizon_factor: opts.horizon.unwrap_or(defaults.horizon_factor),
+        telemetry: tele.clone(),
+        ..defaults
     };
 
     let start = std::time::Instant::now();
@@ -148,7 +203,11 @@ fn run() -> Result<(), String> {
         .map(&dfg, &fabric, &cfg)
         .map_err(|e| format!("mapping failed: {e}"))?;
     let compile_ms = start.elapsed().as_secs_f64() * 1e3;
-    validate(&mapping, &dfg, &fabric).map_err(|e| format!("INTERNAL: invalid mapping: {e}"))?;
+    {
+        let _span = tele.span(Phase::Validate);
+        validate(&mapping, &dfg, &fabric)
+            .map_err(|e| format!("INTERNAL: invalid mapping: {e}"))?;
+    }
     let metrics = Metrics::of(&mapping, &dfg, &fabric);
 
     // Simulate with a deterministic synthetic tape.
@@ -162,22 +221,38 @@ fn run() -> Result<(), String> {
         .unwrap_or(0);
     let tape = Tape::generate(streams, opts.iters, |s, i| ((s + 2) * (i + 1)) as i64 % 97)
         .with_memory(vec![1; 256]);
-    let stats = cgra::sim::simulate_verified(&mapping, &dfg, &fabric, opts.iters, &tape)
-        .map_err(|e| format!("simulation mismatch: {e}"))?;
+    let stats = {
+        let _span = tele.span(Phase::Simulate);
+        cgra::sim::simulate_verified(&mapping, &dfg, &fabric, opts.iters, &tape)
+            .map_err(|e| format!("simulation mismatch: {e}"))?
+    };
     let energy = EnergyModel::default();
     let run_energy = energy.run_energy(&mapping, &dfg, &fabric, opts.iters as u64);
 
+    if let Some(path) = &opts.trace {
+        write_trace(path, &tele)?;
+    }
+
     if opts.json {
+        let config_json = serde_json::json!({
+            "max_ii": cfg.max_ii,
+            "seed": cfg.seed,
+            "time_limit_secs": cfg.time_limit.as_secs_f64(),
+            "effort": cfg.effort,
+            "horizon_factor": cfg.horizon_factor,
+        });
         let report = serde_json::json!({
             "kernel": dfg.name,
             "fabric": fabric.name,
             "mapper": mapper.name(),
             "family": mapper.family().label(),
             "compile_ms": compile_ms,
+            "config": config_json,
             "metrics": metrics,
             "cycles": stats.cycles,
             "throughput": stats.throughput,
             "energy": run_energy,
+            "search_stats": tele.snapshot(),
         });
         println!("{}", serde_json::to_string_pretty(&report).unwrap());
     } else {
@@ -206,5 +281,65 @@ fn run() -> Result<(), String> {
             println!("\n{}", cs.render(&fabric));
         }
     }
+    if opts.profile {
+        let profile = render_profile(&tele);
+        if opts.json {
+            // Keep stdout valid JSON.
+            eprint!("{profile}");
+        } else {
+            print!("{profile}");
+        }
+    }
     Ok(())
+}
+
+/// Emit the trace as JSON Lines: one `span` event per recorded phase
+/// span (completion order), then a single `counters` event.
+fn write_trace(path: &str, tele: &Telemetry) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(f);
+    let mut emit = |line: serde_json::Value| -> Result<(), String> {
+        writeln!(w, "{line}").map_err(|e| format!("{path}: {e}"))
+    };
+    for s in tele.spans() {
+        emit(serde_json::json!({
+            "event": "span",
+            "phase": s.phase.label(),
+            "ii": s.ii,
+            "start_us": s.start_us,
+            "dur_us": s.dur_us,
+        }))?;
+    }
+    if let Some(snap) = tele.snapshot() {
+        emit(serde_json::json!({ "event": "counters", "counters": snap }))?;
+    }
+    Ok(())
+}
+
+/// Human-readable search-effort profile: wall-clock per phase, then
+/// every nonzero counter.
+fn render_profile(tele: &Telemetry) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let spans = tele.spans();
+    let _ = writeln!(out, "\nsearch profile:");
+    let _ = writeln!(out, "  {:<22} {:>10} {:>12}", "phase", "spans", "total ms");
+    for p in Phase::ALL {
+        let group: Vec<_> = spans.iter().filter(|s| s.phase == p).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let total_ms = group.iter().map(|s| s.dur_us).sum::<u64>() as f64 / 1e3;
+        let _ = writeln!(out, "  {:<22} {:>10} {:>12.2}", p.label(), group.len(), total_ms);
+    }
+    if let Some(snap) = tele.snapshot() {
+        let _ = writeln!(out, "  {:<22} {:>10}", "counter", "value");
+        for c in Counter::ALL {
+            let v = snap.get(c);
+            if v > 0 {
+                let _ = writeln!(out, "  {:<22} {:>10}", c.label(), v);
+            }
+        }
+    }
+    out
 }

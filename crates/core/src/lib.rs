@@ -42,11 +42,13 @@ pub mod metrics;
 pub mod portfolio;
 pub mod route;
 pub mod streaming;
+pub mod telemetry;
 pub mod validate;
 
 pub use mapper::{Family, MapConfig, MapError, Mapper};
 pub use mapping::{Mapping, Placement, Route};
 pub use metrics::Metrics;
+pub use telemetry::{Counter, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry};
 pub use validate::{validate, ValidationError};
 
 /// Everything a mapper user needs.
@@ -56,5 +58,6 @@ pub mod prelude {
     pub use crate::mapping::{Mapping, Placement, Route};
     pub use crate::metrics::Metrics;
     pub use crate::portfolio::{run_portfolio, PortfolioEntry};
+    pub use crate::telemetry::{Counter, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry};
     pub use crate::validate::validate;
 }

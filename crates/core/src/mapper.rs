@@ -1,6 +1,7 @@
 //! The `Mapper` trait, configuration, errors, and the Table I taxonomy.
 
 use crate::mapping::Mapping;
+use crate::telemetry::Telemetry;
 use cgra_arch::Fabric;
 use cgra_ir::Dfg;
 use serde::{Deserialize, Serialize};
@@ -53,6 +54,10 @@ pub struct MapConfig {
     /// Mapper-specific effort knob (SA sweeps, GA generations, B&B
     /// nodes in thousands, …).
     pub effort: u32,
+    /// Optional search-telemetry sink. Disabled by default; when
+    /// enabled, mappers record counters and phase spans into it. See
+    /// [`crate::telemetry`].
+    pub telemetry: Telemetry,
 }
 
 impl Default for MapConfig {
@@ -63,6 +68,7 @@ impl Default for MapConfig {
             time_limit: Duration::from_secs(20),
             seed: 0xC6_12A,
             effort: 100,
+            telemetry: Telemetry::off(),
         }
     }
 }

@@ -13,6 +13,7 @@
 use super::state::SchedState;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::Fabric;
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 use std::time::Instant;
@@ -53,7 +54,9 @@ impl<'a> Bb<'a> {
             return true;
         }
         self.nodes += 1;
+        self.state.tele.bump(Counter::NodesExpanded);
         if self.nodes > self.budget || Instant::now() > self.deadline {
+            self.state.tele.bump(Counter::NodesPruned);
             return false;
         }
         let n = self.order[depth];
@@ -70,6 +73,7 @@ impl<'a> Bb<'a> {
         for t in est..=window_end {
             for pe in self.state.candidate_pes(n, self.beam) {
                 if tried >= self.beam * 3 {
+                    self.state.tele.bump(Counter::NodesPruned);
                     return false;
                 }
                 if self.state.try_place(n, pe, t) {
@@ -93,7 +97,10 @@ impl BranchAndBound {
         ii: u32,
         hop: &[Vec<u32>],
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Option<Mapping> {
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, ii);
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
         let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
@@ -105,7 +112,7 @@ impl BranchAndBound {
             deadline,
             beam: self.beam,
             window_iis: self.window_iis,
-            state: SchedState::new(dfg, fabric, ii, hop),
+            state: SchedState::new(dfg, fabric, ii, hop, tele.clone()),
         };
         if bb.dfs(0) {
             bb.state.into_mapping()
@@ -142,7 +149,7 @@ impl Mapper for BranchAndBound {
         let hop = fabric.hop_distance();
         let deadline = Instant::now() + cfg.time_limit;
         for ii in mii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline) {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
                 return Ok(m);
             }
             if Instant::now() > deadline {

@@ -7,9 +7,10 @@
 //! solved by the AC-3 + MRV engine of [`cgra_solver::CpModel`]. A
 //! CEGAR loop blocks placements the router cannot realise.
 
-use super::exact_common::{edge_compatible, realise, PositionSpace};
+use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
 use cgra_solver::cp::CpConfig;
@@ -42,7 +43,10 @@ impl CpMapper {
         ii: u32,
         hop: &[Vec<u32>],
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Result<Option<Mapping>, MapError> {
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, ii);
         let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, self.position_cap);
         let mut blocked: Vec<Vec<(PeId, u32)>> = Vec::new();
 
@@ -128,6 +132,7 @@ impl CpMapper {
                 time_limit: remaining,
                 node_limit: 500_000,
             });
+            add_solver_stats(tele, model.stats());
             match sol {
                 CpSolution::Unsat => return Ok(None),
                 CpSolution::Unknown => return Err(MapError::Timeout),
@@ -137,7 +142,7 @@ impl CpMapper {
                         .enumerate()
                         .map(|(o, &k)| space.positions[o][k as usize])
                         .collect();
-                    if let Some(m) = realise(dfg, fabric, ii, &chosen) {
+                    if let Some(m) = realise(dfg, fabric, ii, &chosen, tele) {
                         return Ok(Some(m));
                     }
                     blocked.push(chosen);
@@ -175,7 +180,7 @@ impl Mapper for CpMapper {
         let hop = fabric.hop_distance();
         let deadline = Instant::now() + cfg.time_limit;
         for ii in mii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, deadline) {
+            match self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),

@@ -11,6 +11,7 @@
 use super::state::SchedState;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId, SpaceTime};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 use std::time::Instant;
@@ -88,8 +89,11 @@ impl EdgeCentric {
         ii: u32,
         hop: &[Vec<u32>],
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Option<Mapping> {
-        let mut state = SchedState::new(dfg, fabric, ii, hop);
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, ii);
+        let mut state = SchedState::new(dfg, fabric, ii, hop, tele.clone());
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
         let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
@@ -202,7 +206,7 @@ impl Mapper for EdgeCentric {
         let hop = fabric.hop_distance();
         let deadline = Instant::now() + cfg.time_limit;
         for ii in mii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline) {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
                 return Ok(m);
             }
             if Instant::now() > deadline {

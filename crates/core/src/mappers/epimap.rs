@@ -20,7 +20,8 @@
 
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::{Mapping, Placement};
-use crate::route::route_all;
+use crate::route::route_all_with;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 use std::time::Instant;
@@ -55,6 +56,7 @@ struct Search<'a> {
     max_attempts: u64,
     window_iis: u32,
     deadline: Instant,
+    tele: Telemetry,
 }
 
 impl<'a> Search<'a> {
@@ -95,7 +97,9 @@ impl<'a> Search<'a> {
         if depth == self.order.len() {
             return true;
         }
+        self.tele.bump(Counter::NodesExpanded);
         if self.attempts >= self.max_attempts || Instant::now() > self.deadline {
+            self.tele.bump(Counter::NodesPruned);
             return false;
         }
         let n = self.order[depth];
@@ -139,12 +143,14 @@ impl<'a> Search<'a> {
 
         for (_, t, pe) in cands {
             self.attempts += 1;
+            self.tele.bump(Counter::PlacementsTried);
             let slot = t % self.ii;
             self.assign[n.index()] = Some(Placement { pe, time: t });
             self.fu.insert((pe, slot), n);
             if self.dfs(depth + 1) {
                 return true;
             }
+            self.tele.bump(Counter::Backtracks);
             self.assign[n.index()] = None;
             self.fu.remove(&(pe, slot));
         }
@@ -160,7 +166,10 @@ impl EpiMap {
         ii: u32,
         hop: &[Vec<u32>],
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Option<Mapping> {
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, ii);
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
         let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
@@ -178,12 +187,13 @@ impl EpiMap {
             max_attempts: self.max_attempts,
             window_iis: self.window_iis,
             deadline,
+            tele: tele.clone(),
         };
         if !search.dfs(0) {
             return None;
         }
         let place: Vec<Placement> = search.assign.into_iter().map(|p| p.unwrap()).collect();
-        let routes = route_all(fabric, dfg, &place, ii, 12, true)?;
+        let routes = route_all_with(fabric, dfg, &place, ii, 12, true, tele)?;
         Some(Mapping { ii, place, routes })
     }
 }
@@ -215,7 +225,7 @@ impl Mapper for EpiMap {
         let hop = fabric.hop_distance();
         let deadline = Instant::now() + cfg.time_limit;
         for ii in mii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline) {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
                 return Ok(m);
             }
             if Instant::now() > deadline {

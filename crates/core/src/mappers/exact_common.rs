@@ -13,9 +13,11 @@
 //! re-solve).
 
 use crate::mapping::{Mapping, Placement};
-use crate::route::route_all;
+use crate::route::route_all_with;
+use crate::telemetry::{Counter, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{graph, Dfg, OpKind};
+use cgra_solver::SolverStats;
 
 /// A candidate `(pe, time)` pair.
 pub(crate) type Pos = (PeId, u32);
@@ -130,13 +132,22 @@ pub(crate) fn realise(
     fabric: &Fabric,
     ii: u32,
     chosen: &[Pos],
+    tele: &Telemetry,
 ) -> Option<Mapping> {
     let place: Vec<Placement> = chosen
         .iter()
         .map(|&(pe, time)| Placement { pe, time })
         .collect();
-    let routes = route_all(fabric, dfg, &place, ii, 12, true)?;
+    let routes = route_all_with(fabric, dfg, &place, ii, 12, true, tele)?;
     Some(Mapping { ii, place, routes })
+}
+
+/// Fold a solver-engine stats snapshot into the telemetry counters.
+pub(crate) fn add_solver_stats(tele: &Telemetry, s: SolverStats) {
+    tele.add(Counter::SolverDecisions, s.decisions);
+    tele.add(Counter::SolverPropagations, s.propagations);
+    tele.add(Counter::SolverConflicts, s.conflicts);
+    tele.add(Counter::SolverRestarts, s.restarts);
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 use super::meta_common::{eval_binding, finish_binding, legal_schedule, random_binding};
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
 use rand::rngs::StdRng;
@@ -42,6 +43,7 @@ impl Default for Genetic {
 }
 
 impl Genetic {
+    #[allow(clippy::too_many_arguments)]
     fn evolve(
         &self,
         dfg: &Dfg,
@@ -50,6 +52,7 @@ impl Genetic {
         ii: u32,
         seed: u64,
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Vec<(u64, Vec<PeId>)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = dfg.node_count();
@@ -67,6 +70,7 @@ impl Genetic {
             .map(|_| random_binding(dfg, fabric, &mut rng))
             .collect();
         let mut scored: Vec<(u64, Vec<PeId>)> = Vec::new();
+        let mut best_cost = u64::MAX;
 
         for _gen in 0..self.generations {
             if Instant::now() > deadline {
@@ -77,6 +81,14 @@ impl Genetic {
                 .map(|b| (eval_binding(dfg, fabric, hop, b, ii).cost, b.clone()))
                 .collect();
             scored.sort_by_key(|(c, _)| *c);
+            // A generation whose champion improves on the best seen so
+            // far counts as an accepted move of the population search.
+            if let Some(&(c, _)) = scored.first() {
+                if c < best_cost {
+                    best_cost = c;
+                    tele.bump(Counter::MovesAccepted);
+                }
+            }
 
             let mut next: Vec<Vec<PeId>> =
                 scored.iter().take(self.elitism).map(|(_, b)| b.clone()).collect();
@@ -107,6 +119,7 @@ impl Genetic {
                     };
                     child.push(gene);
                 }
+                tele.bump(Counter::MovesProposed);
                 next.push(child);
             }
             pop = next;
@@ -150,10 +163,21 @@ impl Mapper for Genetic {
         let deadline = Instant::now() + cfg.time_limit;
 
         for ii in mii..=max_ii {
-            let scored = self.evolve(dfg, fabric, &hop, ii, cfg.seed ^ ii as u64, deadline);
+            cfg.telemetry.bump(Counter::IiAttempts);
+            let _span = cfg.telemetry.span_ii(Phase::Map, ii);
+            let scored = self.evolve(
+                dfg,
+                fabric,
+                &hop,
+                ii,
+                cfg.seed ^ ii as u64,
+                deadline,
+                &cfg.telemetry,
+            );
             for (_, binding) in scored.into_iter().take(3) {
                 if let Some(times) = legal_schedule(dfg, fabric, &hop, &binding, ii) {
-                    if let Some(m) = finish_binding(dfg, fabric, &binding, &times, ii) {
+                    if let Some(m) = finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
+                    {
                         return Ok(m);
                     }
                 }

@@ -32,7 +32,7 @@ impl Mapper for GraphDrawing {
         true
     }
 
-    fn map(&self, dfg: &Dfg, fabric: &Fabric, _cfg: &MapConfig) -> Result<Mapping, MapError> {
+    fn map(&self, dfg: &Dfg, fabric: &Fabric, cfg: &MapConfig) -> Result<Mapping, MapError> {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         if dfg.node_count() > fabric.num_pes() {
@@ -107,7 +107,7 @@ impl Mapper for GraphDrawing {
 
         // 3. Schedule + route.
         let hop = fabric.hop_distance();
-        finish_spatial(dfg, fabric, &hop, &pes, true)
+        finish_spatial(dfg, fabric, &hop, &pes, true, &cfg.telemetry)
             .ok_or_else(|| MapError::Infeasible("drawing legalised but unroutable".into()))
     }
 }

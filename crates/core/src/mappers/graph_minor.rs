@@ -12,7 +12,8 @@
 
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::{Mapping, Placement};
-use crate::route::route_all;
+use crate::route::route_all_with;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 use std::time::Instant;
@@ -40,7 +41,10 @@ impl GraphMinor {
         ii: u32,
         hop: &[Vec<u32>],
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Option<Mapping> {
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, ii);
         let lat = |op: OpKind| fabric.latency_of(op);
         let levels = graph::asap(dfg, &lat);
         let max_level = levels.iter().copied().max().unwrap_or(0);
@@ -56,7 +60,7 @@ impl GraphMinor {
                 return None;
             }
             if let Some(m) =
-                self.embed(dfg, fabric, ii, hop, &by_level, spacing, deadline)
+                self.embed(dfg, fabric, ii, hop, &by_level, spacing, deadline, tele)
             {
                 return Some(m);
             }
@@ -64,6 +68,7 @@ impl GraphMinor {
         None
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn embed(
         &self,
         dfg: &Dfg,
@@ -73,6 +78,7 @@ impl GraphMinor {
         by_level: &[Vec<NodeId>],
         spacing: u32,
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Option<Mapping> {
         let mut place: Vec<Option<Placement>> = vec![None; dfg.node_count()];
         let mut fu: std::collections::HashSet<(PeId, u32)> = std::collections::HashSet::new();
@@ -129,6 +135,7 @@ impl GraphMinor {
                         });
                     match best {
                         Some(pe) => {
+                            tele.bump(Counter::PlacementsTried);
                             trial_fu.insert((pe, slot));
                             trial_place[n.index()] = Some(Placement { pe, time: t });
                         }
@@ -151,7 +158,7 @@ impl GraphMinor {
         }
         let place: Vec<Placement> = place.into_iter().collect::<Option<_>>()?;
         // Materialise branch sets (routes).
-        let routes = route_all(fabric, dfg, &place, ii, 12, true)?;
+        let routes = route_all_with(fabric, dfg, &place, ii, 12, true, tele)?;
         Some(Mapping { ii, place, routes })
     }
 }
@@ -183,7 +190,7 @@ impl Mapper for GraphMinor {
         let hop = fabric.hop_distance();
         let deadline = Instant::now() + cfg.time_limit;
         for ii in mii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline) {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
                 return Ok(m);
             }
             if Instant::now() > deadline {

@@ -13,6 +13,7 @@
 use super::state::SchedState;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 use std::time::Instant;
@@ -124,6 +125,7 @@ impl HiMap {
         pos
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn try_ii(
         &self,
         dfg: &Dfg,
@@ -134,8 +136,11 @@ impl HiMap {
         centres: &[(f64, f64)],
         region_radius: u32,
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Option<Mapping> {
-        let mut state = SchedState::new(dfg, fabric, ii, hop);
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, ii);
+        let mut state = SchedState::new(dfg, fabric, ii, hop, tele.clone());
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
         let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
@@ -223,7 +228,15 @@ impl Mapper for HiMap {
             let mut radius = 2;
             while radius <= max_radius {
                 if let Some(m) = self.try_ii(
-                    dfg, fabric, ii, &hop, &clusters, &centres, radius, deadline,
+                    dfg,
+                    fabric,
+                    ii,
+                    &hop,
+                    &clusters,
+                    &centres,
+                    radius,
+                    deadline,
+                    &cfg.telemetry,
                 ) {
                     return Ok(m);
                 }

@@ -9,9 +9,10 @@
 //! (earliest schedule, shortest wires) within the candidate space; a
 //! CEGAR loop handles register congestion the linear model cannot see.
 
-use super::exact_common::{edge_compatible, realise, PositionSpace};
+use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
 use cgra_solver::{Cmp, IlpModel, IlpResult, IlpVar};
@@ -45,7 +46,10 @@ impl IlpMapper {
         ii: u32,
         hop: &[Vec<u32>],
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Result<Option<Mapping>, MapError> {
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, ii);
         let space =
             PositionSpace::build(dfg, fabric, ii, self.window_iis, Some(self.position_cap));
         let mut blocked: Vec<Vec<(PeId, u32)>> = Vec::new();
@@ -124,6 +128,7 @@ impl IlpMapper {
                 time_limit: deadline.saturating_duration_since(Instant::now()),
                 node_limit: 4_000,
             });
+            add_solver_stats(tele, model.stats());
             let values = match result {
                 IlpResult::Optimal { values, .. } => values,
                 IlpResult::Infeasible => return Ok(None),
@@ -146,7 +151,7 @@ impl IlpMapper {
                     None => return Ok(None), // should not happen
                 }
             }
-            if let Some(m) = realise(dfg, fabric, ii, &chosen) {
+            if let Some(m) = realise(dfg, fabric, ii, &chosen, tele) {
                 return Ok(Some(m));
             }
             blocked.push(chosen);
@@ -182,7 +187,7 @@ impl Mapper for IlpMapper {
         let hop = fabric.hop_distance();
         let deadline = Instant::now() + cfg.time_limit;
         for ii in mii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, deadline) {
+            match self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),

@@ -10,7 +10,8 @@
 //! materialised for candidate champions.
 
 use crate::mapping::{Mapping, Placement};
-use crate::route::route_all;
+use crate::route::route_all_with;
+use crate::telemetry::Telemetry;
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
 
@@ -177,13 +178,14 @@ pub(crate) fn finish_binding(
     pes: &[PeId],
     times: &[u32],
     ii: u32,
+    tele: &Telemetry,
 ) -> Option<Mapping> {
     let place: Vec<Placement> = pes
         .iter()
         .zip(times)
         .map(|(&pe, &time)| Placement { pe, time })
         .collect();
-    let routes = route_all(fabric, dfg, &place, ii, 12, true)?;
+    let routes = route_all_with(fabric, dfg, &place, ii, 12, true, tele)?;
     Some(Mapping { ii, place, routes })
 }
 
@@ -262,7 +264,7 @@ mod tests {
         let pes = vec![PeId(0), PeId(1), PeId(2)];
         let ii = 2;
         let times = legal_schedule(&dfg, &f, &hop, &pes, ii).unwrap();
-        let m = finish_binding(&dfg, &f, &pes, &times, ii).unwrap();
+        let m = finish_binding(&dfg, &f, &pes, &times, ii, &Telemetry::off()).unwrap();
         crate::validate::validate(&m, &dfg, &f).unwrap();
     }
 }

@@ -13,6 +13,7 @@
 use super::state::SchedState;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::Fabric;
 use cgra_ir::graph;
 use cgra_ir::{Dfg, NodeId, OpKind};
@@ -75,8 +76,11 @@ impl ModuloList {
         ii: u32,
         hop: &[Vec<u32>],
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Option<Mapping> {
-        let mut state = SchedState::new(dfg, fabric, ii, hop);
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, ii);
+        let mut state = SchedState::new(dfg, fabric, ii, hop, tele.clone());
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
         let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
@@ -143,7 +147,7 @@ impl Mapper for ModuloList {
         match self.ii_search {
             IiSearch::BottomUp => {
                 for ii in mii..=max_ii {
-                    if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline) {
+                    if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
                         return Ok(m);
                     }
                     if Instant::now() > deadline {
@@ -162,7 +166,7 @@ impl Mapper for ModuloList {
                 let mut best: Option<Mapping> = None;
                 while lo <= hi {
                     let mid = lo + (hi - lo) / 2;
-                    match self.try_ii(dfg, fabric, mid, &hop, deadline) {
+                    match self.try_ii(dfg, fabric, mid, &hop, deadline, &cfg.telemetry) {
                         Some(m) => {
                             best = Some(m);
                             if mid == 0 {

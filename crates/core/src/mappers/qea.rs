@@ -12,6 +12,7 @@
 use super::meta_common::{eval_binding, finish_binding, legal_schedule};
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
 use rand::rngs::StdRng;
@@ -67,6 +68,8 @@ impl Mapper for Qea {
         let n = dfg.node_count();
 
         for ii in mii..=max_ii {
+            cfg.telemetry.bump(Counter::IiAttempts);
+            let _span = cfg.telemetry.span_ii(Phase::Map, ii);
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ (ii as u64) << 7);
             // Feasible PE sets and uniform initial distributions.
             let feasible: Vec<Vec<PeId>> = dfg
@@ -110,6 +113,7 @@ impl Mapper for Qea {
                             })
                             .collect();
                         let c = eval_binding(dfg, fabric, &hop, &binding, ii).cost;
+                        cfg.telemetry.bump(Counter::MovesProposed);
                         (c, binding)
                     })
                     .collect();
@@ -117,6 +121,7 @@ impl Mapper for Qea {
                 let gen_best = observations.remove(0);
                 let improved = best.as_ref().map(|(c, _)| gen_best.0 < *c).unwrap_or(true);
                 if improved {
+                    cfg.telemetry.bump(Counter::MovesAccepted);
                     best = Some(gen_best.clone());
                 }
                 // Rotate distributions towards the all-time best.
@@ -150,7 +155,8 @@ impl Mapper for Qea {
 
             if let Some((_, binding)) = best {
                 if let Some(times) = legal_schedule(dfg, fabric, &hop, &binding, ii) {
-                    if let Some(m) = finish_binding(dfg, fabric, &binding, &times, ii) {
+                    if let Some(m) = finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
+                    {
                         return Ok(m);
                     }
                 }

@@ -9,6 +9,7 @@
 use super::state::SchedState;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::Fabric;
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 use std::collections::VecDeque;
@@ -40,8 +41,11 @@ impl Ramp {
         ii: u32,
         hop: &[Vec<u32>],
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Option<Mapping> {
-        let mut state = SchedState::new(dfg, fabric, ii, hop);
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, ii);
+        let mut state = SchedState::new(dfg, fabric, ii, hop, tele.clone());
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
         let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
@@ -148,7 +152,7 @@ impl Mapper for Ramp {
         let hop = fabric.hop_distance();
         let deadline = Instant::now() + cfg.time_limit;
         for ii in mii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline) {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
                 return Ok(m);
             }
             if Instant::now() > deadline {

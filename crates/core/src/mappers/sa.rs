@@ -11,6 +11,7 @@
 use super::meta_common::{eval_binding, finish_binding, legal_schedule, random_binding};
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
 use rand::rngs::StdRng;
@@ -49,6 +50,7 @@ impl Default for SimulatedAnnealing {
 }
 
 impl SimulatedAnnealing {
+    #[allow(clippy::too_many_arguments)]
     fn anneal_chain(
         &self,
         dfg: &Dfg,
@@ -57,6 +59,7 @@ impl SimulatedAnnealing {
         ii: u32,
         seed: u64,
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Option<(u64, Vec<PeId>)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut binding = random_binding(dfg, fabric, &mut rng);
@@ -72,6 +75,7 @@ impl SimulatedAnnealing {
             }
             for _ in 0..(3 * n) {
                 // Propose: relocate (70%) or swap (30%).
+                tele.bump(Counter::MovesProposed);
                 let mut cand = binding.clone();
                 if rng.random_range(0..10) < 7 {
                     let op = cgra_ir::NodeId(rng.random_range(0..n as u32));
@@ -94,6 +98,7 @@ impl SimulatedAnnealing {
                     rng.random::<f64>() < (-delta / temp.max(1e-9)).exp()
                 };
                 if accept {
+                    tele.bump(Counter::MovesAccepted);
                     binding = cand;
                     cost = c;
                     if cost < best.0 {
@@ -138,6 +143,8 @@ impl Mapper for SimulatedAnnealing {
         let deadline = Instant::now() + cfg.time_limit;
 
         for ii in mii..=max_ii {
+            cfg.telemetry.bump(Counter::IiAttempts);
+            let _span = cfg.telemetry.span_ii(Phase::Map, ii);
             // Parallel chains; pick the champion.
             let champions: Vec<(u64, Vec<PeId>)> = (0..self.chains.max(1))
                 .into_par_iter()
@@ -149,6 +156,7 @@ impl Mapper for SimulatedAnnealing {
                         ii,
                         cfg.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ii as u64,
                         deadline,
+                        &cfg.telemetry,
                     )
                 })
                 .collect();
@@ -156,7 +164,8 @@ impl Mapper for SimulatedAnnealing {
             champs.sort_by_key(|(c, _)| *c);
             for (_, binding) in champs.into_iter().take(2) {
                 if let Some(times) = legal_schedule(dfg, fabric, &hop, &binding, ii) {
-                    if let Some(m) = finish_binding(dfg, fabric, &binding, &times, ii) {
+                    if let Some(m) = finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
+                    {
                         return Ok(m);
                     }
                 }

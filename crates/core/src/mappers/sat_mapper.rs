@@ -9,9 +9,10 @@
 //! encoding cannot see) blocks that exact placement with a no-good
 //! clause and re-solves — a CEGAR loop.
 
-use super::exact_common::{edge_compatible, realise, PositionSpace};
+use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
 use cgra_solver::cnf::{at_most_one, exactly_one, AmoEncoding};
@@ -50,7 +51,10 @@ impl SatMapper {
         ii: u32,
         hop: &[Vec<u32>],
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Result<Option<Mapping>, MapError> {
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, ii);
         let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, self.position_cap);
         let mut solver = SatSolver::new();
 
@@ -100,47 +104,51 @@ impl SatMapper {
         }
 
         // CEGAR: solve, route, block, repeat.
-        for _ in 0..self.cegar_rounds.max(1) {
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
-            }
-            match solver.solve() {
-                SatResult::Unsat => return Ok(None),
-                SatResult::Unknown => return Err(MapError::Timeout),
-                SatResult::Sat(model) => {
-                    let chosen: Vec<(PeId, u32)> = space
-                        .positions
-                        .iter()
-                        .enumerate()
-                        .map(|(o, ps)| {
-                            let k = ps
-                                .iter()
-                                .enumerate()
-                                .position(|(k, _)| {
-                                    model[vars[o][k].var().0 as usize]
-                                })
-                                .expect("exactly-one guarantees a choice");
-                            ps[k]
-                        })
-                        .collect();
-                    if let Some(m) = realise(dfg, fabric, ii, &chosen) {
-                        return Ok(Some(m));
+        let result: Result<Option<Mapping>, MapError> = 'cegar: {
+            for _ in 0..self.cegar_rounds.max(1) {
+                if Instant::now() > deadline {
+                    break 'cegar Err(MapError::Timeout);
+                }
+                match solver.solve() {
+                    SatResult::Unsat => break 'cegar Ok(None),
+                    SatResult::Unknown => break 'cegar Err(MapError::Timeout),
+                    SatResult::Sat(model) => {
+                        let chosen: Vec<(PeId, u32)> = space
+                            .positions
+                            .iter()
+                            .enumerate()
+                            .map(|(o, ps)| {
+                                let k = ps
+                                    .iter()
+                                    .enumerate()
+                                    .position(|(k, _)| {
+                                        model[vars[o][k].var().0 as usize]
+                                    })
+                                    .expect("exactly-one guarantees a choice");
+                                ps[k]
+                            })
+                            .collect();
+                        if let Some(m) = realise(dfg, fabric, ii, &chosen, tele) {
+                            break 'cegar Ok(Some(m));
+                        }
+                        // Block this exact placement.
+                        let blocking: Vec<Lit> = space
+                            .positions
+                            .iter()
+                            .enumerate()
+                            .map(|(o, ps)| {
+                                let k = ps.iter().position(|&p| p == chosen[o]).unwrap();
+                                vars[o][k].negate()
+                            })
+                            .collect();
+                        solver.add_clause(&blocking);
                     }
-                    // Block this exact placement.
-                    let blocking: Vec<Lit> = space
-                        .positions
-                        .iter()
-                        .enumerate()
-                        .map(|(o, ps)| {
-                            let k = ps.iter().position(|&p| p == chosen[o]).unwrap();
-                            vars[o][k].negate()
-                        })
-                        .collect();
-                    solver.add_clause(&blocking);
                 }
             }
-        }
-        Ok(None)
+            Ok(None)
+        };
+        add_solver_stats(tele, solver.stats());
+        result
     }
 }
 
@@ -171,7 +179,7 @@ impl Mapper for SatMapper {
         let hop = fabric.hop_distance();
         let deadline = Instant::now() + cfg.time_limit;
         for ii in mii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, deadline) {
+            match self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(MapError::Timeout) => return Err(MapError::Timeout),

@@ -13,9 +13,11 @@
 //! the horizon, matching the restricted-routing setting of the lineage
 //! paper.
 
+use super::exact_common::add_solver_stats;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
-use crate::route::route_all;
+use crate::route::route_all_with;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{graph, Dfg, OpKind};
 use cgra_solver::{Lit, SmtResult, SmtSolver};
@@ -43,7 +45,10 @@ impl SmtMapper {
         horizon: u32,
         hop: &[Vec<u32>],
         deadline: Instant,
+        tele: &Telemetry,
     ) -> Result<Option<Mapping>, MapError> {
+        tele.bump(Counter::IiAttempts);
+        let _span = tele.span_ii(Phase::Map, horizon);
         let n = dfg.node_count();
         // Theory vars: one time per op, plus a zero reference.
         let mut smt = SmtSolver::new(n + 1);
@@ -139,7 +144,9 @@ impl SmtMapper {
             return Err(MapError::Timeout);
         }
         smt.sat.conflict_budget = 2_000_000;
-        match smt.solve() {
+        let outcome = smt.solve();
+        add_solver_stats(tele, smt.stats());
+        match outcome {
             SmtResult::Unsat => Ok(None),
             SmtResult::Unknown => Err(MapError::Timeout),
             SmtResult::Sat { model, values } => {
@@ -156,14 +163,7 @@ impl SmtMapper {
                     chosen.push(crate::mapping::Placement { pe, time: t });
                 }
                 let ii = horizon.min(fabric.context_depth);
-                let routes = route_all(
-                    fabric,
-                    dfg,
-                    &chosen,
-                    ii,
-                    12,
-                    true,
-                );
+                let routes = route_all_with(fabric, dfg, &chosen, ii, 12, true, tele);
                 match routes {
                     Some(routes) => Ok(Some(Mapping {
                         ii,
@@ -197,7 +197,7 @@ impl Mapper for SmtMapper {
         let mut horizon = cp;
         for _ in 0..self.max_probes.max(1) {
             let h = horizon.min(fabric.context_depth);
-            match self.try_horizon(dfg, fabric, h, &hop, deadline) {
+            match self.try_horizon(dfg, fabric, h, &hop, deadline, &cfg.telemetry) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),

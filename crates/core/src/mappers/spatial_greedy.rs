@@ -8,7 +8,8 @@
 
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::{Mapping, Placement};
-use crate::route::route_all;
+use crate::route::route_all_with;
+use crate::telemetry::Telemetry;
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{Dfg, NodeId};
 
@@ -64,6 +65,7 @@ pub(crate) fn finish_spatial(
     hop: &[Vec<u32>],
     pes: &[PeId],
     negotiated: bool,
+    tele: &Telemetry,
 ) -> Option<Mapping> {
     let times = schedule_times(dfg, fabric, hop, pes, 1)?;
     let place: Vec<Placement> = pes
@@ -71,7 +73,7 @@ pub(crate) fn finish_spatial(
         .zip(&times)
         .map(|(&pe, &time)| Placement { pe, time })
         .collect();
-    let routes = route_all(fabric, dfg, &place, 1, 12, negotiated)?;
+    let routes = route_all_with(fabric, dfg, &place, 1, 12, negotiated, tele)?;
     Some(Mapping {
         ii: 1,
         place,
@@ -92,7 +94,7 @@ impl Mapper for SpatialGreedy {
         true
     }
 
-    fn map(&self, dfg: &Dfg, fabric: &Fabric, _cfg: &MapConfig) -> Result<Mapping, MapError> {
+    fn map(&self, dfg: &Dfg, fabric: &Fabric, cfg: &MapConfig) -> Result<Mapping, MapError> {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         if dfg.node_count() > fabric.num_pes() {
@@ -142,9 +144,9 @@ impl Mapper for SpatialGreedy {
             }
         }
         let pes: Vec<PeId> = pes.into_iter().map(|p| p.unwrap()).collect();
-        finish_spatial(dfg, fabric, &hop, &pes, !self.plain_routing).ok_or_else(|| {
-            MapError::Infeasible("binding found but routing failed".into())
-        })
+        finish_spatial(dfg, fabric, &hop, &pes, !self.plain_routing, &cfg.telemetry).ok_or_else(
+            || MapError::Infeasible("binding found but routing failed".into()),
+        )
     }
 }
 

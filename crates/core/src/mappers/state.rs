@@ -9,6 +9,7 @@
 
 use crate::mapping::{Mapping, Placement, Route};
 use crate::route::{find_route, RouteOpts};
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId, SpaceTime};
 use cgra_ir::{Dfg, EdgeId, NodeId};
 use std::collections::HashSet;
@@ -21,10 +22,17 @@ pub(crate) struct SchedState<'a> {
     pub place: Vec<Option<Placement>>,
     pub routes: Vec<Option<Route>>,
     pub st: SpaceTime,
+    pub tele: Telemetry,
 }
 
 impl<'a> SchedState<'a> {
-    pub fn new(dfg: &'a Dfg, fabric: &'a Fabric, ii: u32, hop: &'a [Vec<u32>]) -> Self {
+    pub fn new(
+        dfg: &'a Dfg,
+        fabric: &'a Fabric,
+        ii: u32,
+        hop: &'a [Vec<u32>],
+        tele: Telemetry,
+    ) -> Self {
         SchedState {
             dfg,
             fabric,
@@ -33,6 +41,7 @@ impl<'a> SchedState<'a> {
             place: vec![None; dfg.node_count()],
             routes: vec![None; dfg.edge_count()],
             st: SpaceTime::new(fabric, ii),
+            tele,
         }
     }
 
@@ -103,6 +112,7 @@ impl<'a> SchedState<'a> {
     /// availability, then routes every edge between `n` and already
     /// placed nodes. Commits and returns true on success.
     pub fn try_place(&mut self, n: NodeId, pe: PeId, t: u32) -> bool {
+        self.tele.bump(Counter::PlacementsTried);
         if !self.fabric.supports(pe, self.dfg.op(n)) || !self.st.fu_free(pe, t) {
             return false;
         }
@@ -112,7 +122,12 @@ impl<'a> SchedState<'a> {
         let mut trial = self.st.clone();
         trial.occupy_fu(pe, t);
         let mut new_routes: Vec<(EdgeId, Route)> = Vec::new();
-        for eid in self.routable_edges(n) {
+        let routable = self.routable_edges(n);
+        // Integrated P&R has no separate routing pass; account the
+        // incremental edge-routing time as Route so profiles from
+        // constructive mappers line up with the explicit-route families.
+        let _route_span = (!routable.is_empty()).then(|| self.tele.span_ii(Phase::Route, self.ii));
+        for eid in routable {
             let e = self.dfg.edge(eid);
             let sp = self.place[e.src.index()].expect("endpoint placed");
             let dp = self.place[e.dst.index()].expect("endpoint placed");
@@ -130,6 +145,7 @@ impl<'a> SchedState<'a> {
                     }
                 }
             }
+            self.tele.bump(Counter::RoutingCalls);
             match find_route(
                 self.fabric,
                 &trial,
@@ -151,6 +167,7 @@ impl<'a> SchedState<'a> {
                     new_routes.push((eid, r));
                 }
                 None => {
+                    self.tele.bump(Counter::RoutingFailures);
                     self.place[n.index()] = saved_place;
                     return false;
                 }
@@ -177,6 +194,7 @@ impl<'a> SchedState<'a> {
         if self.place[n.index()].is_none() {
             return;
         }
+        self.tele.bump(Counter::Backtracks);
         self.place[n.index()] = None;
         for (eid, e) in self.dfg.edges() {
             if e.src == n || e.dst == n {

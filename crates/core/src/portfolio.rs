@@ -3,6 +3,7 @@
 
 use crate::mapper::{Family, MapConfig, Mapper};
 use crate::metrics::Metrics;
+use crate::telemetry::{StatsSnapshot, Telemetry};
 use crate::validate::validate;
 use cgra_arch::Fabric;
 use cgra_ir::Dfg;
@@ -22,6 +23,10 @@ pub struct PortfolioEntry {
     pub metrics: Option<Metrics>,
     pub error: Option<String>,
     pub compile_ms: f64,
+    /// Search-effort counters recorded by a per-job telemetry sink
+    /// (present for both successes and failures).
+    #[serde(default)]
+    pub stats: Option<StatsSnapshot>,
 }
 
 impl PortfolioEntry {
@@ -47,8 +52,12 @@ pub fn run_portfolio(
         .map(|&(mi, ki)| {
             let mapper = &mappers[mi];
             let kernel = &kernels[ki];
+            // Each job gets its own sink so counters are attributable
+            // to a single (mapper, kernel) pair even under rayon.
+            let mut job_cfg = cfg.clone();
+            job_cfg.telemetry = Telemetry::enabled();
             let start = Instant::now();
-            let result = mapper.map(kernel, fabric, cfg);
+            let result = mapper.map(kernel, fabric, &job_cfg);
             let compile_ms = start.elapsed().as_secs_f64() * 1e3;
             let (metrics, error) = match result {
                 Ok(m) => match validate(&m, kernel, fabric) {
@@ -66,13 +75,14 @@ pub fn run_portfolio(
                 metrics,
                 error,
                 compile_ms,
+                stats: job_cfg.telemetry.snapshot(),
             }
         })
         .collect()
 }
 
 /// Aggregate rows per mapper: success rate, mean II among successes,
-/// mean compile time.
+/// mean compile time, and mean search effort (from telemetry).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MapperSummary {
     pub mapper: String,
@@ -84,56 +94,90 @@ pub struct MapperSummary {
     pub mean_ii: Option<f64>,
     pub mean_compile_ms: f64,
     pub mean_hops: Option<f64>,
+    /// Mean II probes per (mapper, kernel) run, over all attempts.
+    #[serde(default)]
+    pub mean_ii_attempts: Option<f64>,
+    /// Mean backtracks per run, over all attempts.
+    #[serde(default)]
+    pub mean_backtracks: Option<f64>,
+    /// Mean placements tried per run, over all attempts.
+    #[serde(default)]
+    pub mean_placements: Option<f64>,
+}
+
+/// Per-mapper accumulator used by the single-pass [`summarise`].
+#[derive(Default)]
+struct Acc {
+    family_label: String,
+    exact: bool,
+    spatial: bool,
+    attempts: usize,
+    successes: usize,
+    ii_sum: f64,
+    hops_sum: f64,
+    compile_ms_sum: f64,
+    stats_runs: usize,
+    ii_attempts_sum: f64,
+    backtracks_sum: f64,
+    placements_sum: f64,
 }
 
 /// Summarise portfolio entries per mapper (insertion order preserved).
+/// Single pass over the entries: an index map keyed by mapper name
+/// resolves each row to its accumulator in O(1).
 pub fn summarise(entries: &[PortfolioEntry]) -> Vec<MapperSummary> {
-    let mut order: Vec<String> = Vec::new();
+    let mut index: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    let mut accs: Vec<Acc> = Vec::new();
     for e in entries {
-        if !order.contains(&e.mapper) {
-            order.push(e.mapper.clone());
+        let slot = *index.entry(e.mapper.as_str()).or_insert_with(|| {
+            order.push(e.mapper.as_str());
+            accs.push(Acc {
+                family_label: e.family_label.clone(),
+                exact: e.exact,
+                spatial: e.spatial,
+                ..Acc::default()
+            });
+            accs.len() - 1
+        });
+        let acc = &mut accs[slot];
+        acc.attempts += 1;
+        acc.compile_ms_sum += e.compile_ms;
+        if let Some(m) = &e.metrics {
+            acc.successes += 1;
+            acc.ii_sum += m.ii as f64;
+            acc.hops_sum += m.route_hops as f64;
+        }
+        if let Some(s) = &e.stats {
+            acc.stats_runs += 1;
+            acc.ii_attempts_sum += s.ii_attempts as f64;
+            acc.backtracks_sum += s.backtracks as f64;
+            acc.placements_sum += s.placements_tried as f64;
         }
     }
     order
         .into_iter()
-        .map(|name| {
-            let group: Vec<&PortfolioEntry> =
-                entries.iter().filter(|e| e.mapper == name).collect();
-            let successes: Vec<&&PortfolioEntry> =
-                group.iter().filter(|e| e.succeeded()).collect();
-            let mean_ii = if successes.is_empty() {
-                None
-            } else {
-                Some(
-                    successes
-                        .iter()
-                        .map(|e| e.metrics.as_ref().unwrap().ii as f64)
-                        .sum::<f64>()
-                        / successes.len() as f64,
-                )
+        .zip(accs)
+        .map(|(name, acc)| {
+            let per_success = |sum: f64| {
+                (acc.successes > 0).then(|| sum / acc.successes as f64)
             };
-            let mean_hops = if successes.is_empty() {
-                None
-            } else {
-                Some(
-                    successes
-                        .iter()
-                        .map(|e| e.metrics.as_ref().unwrap().route_hops as f64)
-                        .sum::<f64>()
-                        / successes.len() as f64,
-                )
+            let per_stats_run = |sum: f64| {
+                (acc.stats_runs > 0).then(|| sum / acc.stats_runs as f64)
             };
             MapperSummary {
-                mean_hops,
-                family_label: group[0].family_label.clone(),
-                exact: group[0].exact,
-                spatial: group[0].spatial,
-                attempts: group.len(),
-                successes: successes.len(),
-                mean_ii,
-                mean_compile_ms: group.iter().map(|e| e.compile_ms).sum::<f64>()
-                    / group.len() as f64,
-                mapper: name,
+                mapper: name.to_string(),
+                family_label: acc.family_label.clone(),
+                exact: acc.exact,
+                spatial: acc.spatial,
+                attempts: acc.attempts,
+                successes: acc.successes,
+                mean_ii: per_success(acc.ii_sum),
+                mean_compile_ms: acc.compile_ms_sum / acc.attempts.max(1) as f64,
+                mean_hops: per_success(acc.hops_sum),
+                mean_ii_attempts: per_stats_run(acc.ii_attempts_sum),
+                mean_backtracks: per_stats_run(acc.backtracks_sum),
+                mean_placements: per_stats_run(acc.placements_sum),
             }
         })
         .collect()
@@ -176,6 +220,12 @@ mod tests {
         assert_eq!(ml.attempts, 2);
         assert_eq!(ml.successes, 2);
         assert!(ml.mean_ii.unwrap() >= 1.0);
+        // Every job runs under its own sink, so search-effort stats
+        // are recorded and aggregated.
+        assert!(entries.iter().all(|e| e.stats.is_some()));
+        assert!(ml.mean_ii_attempts.unwrap() >= 1.0);
+        assert!(ml.mean_placements.unwrap() >= 1.0);
+        assert!(ml.mean_backtracks.is_some());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! until no resource is over-subscribed.
 
 use crate::mapping::{Mapping, Placement, Route};
+use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId, SpaceTime};
 use cgra_ir::Dfg;
 use std::collections::{BinaryHeap, HashSet};
@@ -213,6 +214,22 @@ pub fn route_all(
     rounds: u32,
     negotiated: bool,
 ) -> Option<Vec<Route>> {
+    route_all_with(fabric, dfg, place, ii, rounds, negotiated, &Telemetry::off())
+}
+
+/// [`route_all`] with a telemetry sink: the whole negotiation is timed
+/// as a [`Phase::Route`] span and every single-edge search is counted.
+#[allow(clippy::too_many_arguments)]
+pub fn route_all_with(
+    fabric: &Fabric,
+    dfg: &Dfg,
+    place: &[Placement],
+    ii: u32,
+    rounds: u32,
+    negotiated: bool,
+    tele: &Telemetry,
+) -> Option<Vec<Route>> {
+    let _span = tele.span_ii(Phase::Route, ii);
     let mut mapping = Mapping {
         ii,
         place: place.to_vec(),
@@ -252,6 +269,7 @@ pub fn route_all(
             };
             let from = place[e.src.index()].pe;
             let to = place[e.dst.index()].pe;
+            tele.bump(Counter::RoutingCalls);
             match find_route(fabric, &st, from, tr, to, tc, &shared, Some(&hist), opts) {
                 Some(r) => {
                     for (i, &pe) in r.steps.iter().enumerate() {
@@ -263,6 +281,7 @@ pub fn route_all(
                     mapping.routes[eid.index()] = r;
                 }
                 None => {
+                    tele.bump(Counter::RoutingFailures);
                     ok = false;
                     break;
                 }

@@ -1,0 +1,492 @@
+//! Search telemetry: lock-free per-mapper counters and phase spans.
+//!
+//! The survey's Table I separates mapping techniques by *how they
+//! search* — heuristics backtrack, meta-heuristics propose moves, exact
+//! methods branch and propagate — yet end-result metrics (II, hops,
+//! compile time) cannot distinguish a SAT timeout from an SA one. This
+//! module gives every mapper a common vocabulary of search-effort
+//! counters plus wall-clock phase spans, collected through an optional
+//! shared sink so the `Mapper` trait stays untouched.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled must be free.** [`Telemetry`] wraps
+//!    `Option<Arc<SearchStats>>`; every operation on a disabled handle
+//!    is a null check. Counters use relaxed atomics so the enabled
+//!    path stays lock-free on the router/scheduler hot loops; only
+//!    span recording (rare — one per phase or per II attempt) takes a
+//!    mutex.
+//! 2. **No signature churn.** The sink rides in
+//!    [`crate::MapConfig::telemetry`]; mappers read it from the config
+//!    they already receive.
+//! 3. **Deterministic.** Counter values are sums of per-thread
+//!    deterministic contributions; relaxed atomic addition commutes, so
+//!    same-seed runs produce identical snapshots (tested).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Search-effort counters, one per Table I search behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Counter {
+    /// Candidate IIs probed (the "increase II until it fits" loop).
+    IiAttempts,
+    /// `(op, pe, cycle)` placement attempts by constructive mappers.
+    PlacementsTried,
+    /// Placements undone or abandoned (heuristic/B&B backtracking).
+    Backtracks,
+    /// Space-time router invocations.
+    RoutingCalls,
+    /// Router invocations that found no route.
+    RoutingFailures,
+    /// Meta-heuristic moves proposed (SA moves, GA/QEA offspring).
+    MovesProposed,
+    /// Moves accepted / improving offspring.
+    MovesAccepted,
+    /// Search-tree nodes expanded (B&B).
+    NodesExpanded,
+    /// Search-tree nodes pruned by bound, beam, or budget.
+    NodesPruned,
+    /// Solver branching decisions (CDCL decides, CP/ILP branch nodes).
+    SolverDecisions,
+    /// Solver propagations (unit propagations, AC-3 revisions, LP solves).
+    SolverPropagations,
+    /// Solver conflicts (CDCL conflicts, CP dead-ends, theory conflicts).
+    SolverConflicts,
+    /// Solver restarts (Luby restarts).
+    SolverRestarts,
+}
+
+impl Counter {
+    /// Every counter, in snapshot order.
+    pub const ALL: [Counter; 13] = [
+        Counter::IiAttempts,
+        Counter::PlacementsTried,
+        Counter::Backtracks,
+        Counter::RoutingCalls,
+        Counter::RoutingFailures,
+        Counter::MovesProposed,
+        Counter::MovesAccepted,
+        Counter::NodesExpanded,
+        Counter::NodesPruned,
+        Counter::SolverDecisions,
+        Counter::SolverPropagations,
+        Counter::SolverConflicts,
+        Counter::SolverRestarts,
+    ];
+
+    /// Snake-case name used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Counter::IiAttempts => "ii_attempts",
+            Counter::PlacementsTried => "placements_tried",
+            Counter::Backtracks => "backtracks",
+            Counter::RoutingCalls => "routing_calls",
+            Counter::RoutingFailures => "routing_failures",
+            Counter::MovesProposed => "moves_proposed",
+            Counter::MovesAccepted => "moves_accepted",
+            Counter::NodesExpanded => "nodes_expanded",
+            Counter::NodesPruned => "nodes_pruned",
+            Counter::SolverDecisions => "solver_decisions",
+            Counter::SolverPropagations => "solver_propagations",
+            Counter::SolverConflicts => "solver_conflicts",
+            Counter::SolverRestarts => "solver_restarts",
+        }
+    }
+}
+
+const NUM_COUNTERS: usize = Counter::ALL.len();
+
+/// Pipeline phases timed by spans (the CLI's Fig. 3 flow plus the
+/// mapper-internal map-per-II and routing phases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    Parse,
+    Optimize,
+    Map,
+    Route,
+    Validate,
+    Simulate,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 6] = [
+        Phase::Parse,
+        Phase::Optimize,
+        Phase::Map,
+        Phase::Route,
+        Phase::Validate,
+        Phase::Simulate,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Optimize => "optimize",
+            Phase::Map => "map",
+            Phase::Route => "route",
+            Phase::Validate => "validate",
+            Phase::Simulate => "simulate",
+        }
+    }
+}
+
+/// One completed span: a phase, an optional II qualifier (map-per-II
+/// attempts), and wall-clock bounds relative to the sink's creation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanRecord {
+    pub phase: Phase,
+    /// `Some(ii)` for per-II mapping attempts, `None` for whole phases.
+    pub ii: Option<u32>,
+    /// Microseconds since the sink was created.
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+/// Span log capacity: inner search loops (one span per II attempt or
+/// routing pass) can emit thousands of spans on hard instances; beyond
+/// this many the log stops growing and only counts the overflow.
+const MAX_SPANS: usize = 16_384;
+
+/// The shared sink: lock-free counters plus a span log.
+pub struct SearchStats {
+    counters: [AtomicU64; NUM_COUNTERS],
+    spans: Mutex<Vec<SpanRecord>>,
+    /// Spans discarded once the log hit [`MAX_SPANS`].
+    spans_dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for SearchStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchStats {
+    pub fn new() -> Self {
+        SearchStats {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            spans: Mutex::new(Vec::new()),
+            spans_dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        self.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Record a completed span (called by [`SpanGuard::drop`]).
+    fn record_span(&self, phase: Phase, ii: Option<u32>, started: Instant) {
+        let start_us = started.duration_since(self.epoch).as_micros() as u64;
+        let dur_us = started.elapsed().as_micros() as u64;
+        let mut spans = self.spans.lock().unwrap();
+        if spans.len() >= MAX_SPANS {
+            self.spans_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(SpanRecord {
+            phase,
+            ii,
+            start_us,
+            dur_us,
+        });
+    }
+
+    /// All spans recorded so far, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Number of recorded span events.
+    pub fn span_count(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    /// Spans discarded because the log was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            ii_attempts: self.get(Counter::IiAttempts),
+            placements_tried: self.get(Counter::PlacementsTried),
+            backtracks: self.get(Counter::Backtracks),
+            routing_calls: self.get(Counter::RoutingCalls),
+            routing_failures: self.get(Counter::RoutingFailures),
+            moves_proposed: self.get(Counter::MovesProposed),
+            moves_accepted: self.get(Counter::MovesAccepted),
+            nodes_expanded: self.get(Counter::NodesExpanded),
+            nodes_pruned: self.get(Counter::NodesPruned),
+            solver_decisions: self.get(Counter::SolverDecisions),
+            solver_propagations: self.get(Counter::SolverPropagations),
+            solver_conflicts: self.get(Counter::SolverConflicts),
+            solver_restarts: self.get(Counter::SolverRestarts),
+        }
+    }
+}
+
+impl std::fmt::Debug for SearchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchStats")
+            .field("counters", &self.snapshot())
+            .field("spans", &self.span_count())
+            .finish()
+    }
+}
+
+/// A plain-data copy of every counter, for reports and serialisation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct StatsSnapshot {
+    pub ii_attempts: u64,
+    pub placements_tried: u64,
+    pub backtracks: u64,
+    pub routing_calls: u64,
+    pub routing_failures: u64,
+    pub moves_proposed: u64,
+    pub moves_accepted: u64,
+    pub nodes_expanded: u64,
+    pub nodes_pruned: u64,
+    pub solver_decisions: u64,
+    pub solver_propagations: u64,
+    pub solver_conflicts: u64,
+    pub solver_restarts: u64,
+}
+
+impl StatsSnapshot {
+    pub fn get(&self, c: Counter) -> u64 {
+        match c {
+            Counter::IiAttempts => self.ii_attempts,
+            Counter::PlacementsTried => self.placements_tried,
+            Counter::Backtracks => self.backtracks,
+            Counter::RoutingCalls => self.routing_calls,
+            Counter::RoutingFailures => self.routing_failures,
+            Counter::MovesProposed => self.moves_proposed,
+            Counter::MovesAccepted => self.moves_accepted,
+            Counter::NodesExpanded => self.nodes_expanded,
+            Counter::NodesPruned => self.nodes_pruned,
+            Counter::SolverDecisions => self.solver_decisions,
+            Counter::SolverPropagations => self.solver_propagations,
+            Counter::SolverConflicts => self.solver_conflicts,
+            Counter::SolverRestarts => self.solver_restarts,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        Counter::ALL.iter().all(|&c| self.get(c) == 0)
+    }
+}
+
+/// The handle mappers hold: either connected to a shared
+/// [`SearchStats`] sink or disabled (the default). Cloning is a
+/// refcount bump; disabled operations are a null check.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<SearchStats>>);
+
+impl Telemetry {
+    /// A disabled handle (every operation is a no-op).
+    pub fn off() -> Self {
+        Telemetry(None)
+    }
+
+    /// A fresh enabled sink.
+    pub fn enabled() -> Self {
+        Telemetry(Some(Arc::new(SearchStats::new())))
+    }
+
+    /// Attach to an existing sink.
+    pub fn with_sink(sink: Arc<SearchStats>) -> Self {
+        Telemetry(Some(sink))
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    pub fn sink(&self) -> Option<&Arc<SearchStats>> {
+        self.0.as_ref()
+    }
+
+    #[inline]
+    pub fn bump(&self, c: Counter) {
+        if let Some(s) = &self.0 {
+            s.add(c, 1);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        if let Some(s) = &self.0 {
+            if n > 0 {
+                s.add(c, n);
+            }
+        }
+    }
+
+    /// Start timing `phase`; the span is recorded when the guard drops.
+    #[inline]
+    pub fn span(&self, phase: Phase) -> SpanGuard<'_> {
+        self.span_inner(phase, None)
+    }
+
+    /// Start timing one II attempt of the mapping phase.
+    #[inline]
+    pub fn span_ii(&self, phase: Phase, ii: u32) -> SpanGuard<'_> {
+        self.span_inner(phase, Some(ii))
+    }
+
+    #[inline]
+    fn span_inner(&self, phase: Phase, ii: Option<u32>) -> SpanGuard<'_> {
+        SpanGuard {
+            live: self
+                .0
+                .as_deref()
+                .map(|sink| (sink, phase, ii, Instant::now())),
+        }
+    }
+
+    /// Counter snapshot, or `None` when disabled.
+    pub fn snapshot(&self) -> Option<StatsSnapshot> {
+        self.0.as_ref().map(|s| s.snapshot())
+    }
+
+    /// Recorded spans (empty when disabled).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.0.as_ref().map(|s| s.spans()).unwrap_or_default()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "Telemetry(off)"),
+            Some(s) => write!(f, "Telemetry(on, {} spans)", s.span_count()),
+        }
+    }
+}
+
+/// RAII span timer returned by [`Telemetry::span`]. Disabled guards
+/// hold nothing and drop for free.
+pub struct SpanGuard<'a> {
+    live: Option<(&'a SearchStats, Phase, Option<u32>, Instant)>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((sink, phase, ii, started)) = self.live.take() {
+            sink.record_span(phase, ii, started);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Telemetry::enabled();
+        t.bump(Counter::Backtracks);
+        t.add(Counter::Backtracks, 4);
+        t.add(Counter::MovesProposed, 10);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.backtracks, 5);
+        assert_eq!(snap.moves_proposed, 10);
+        assert_eq!(snap.get(Counter::MovesProposed), 10);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn spans_record_phase_and_ii() {
+        let t = Telemetry::enabled();
+        {
+            let _g = t.span(Phase::Parse);
+        }
+        {
+            let _g = t.span_ii(Phase::Map, 3);
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].phase, Phase::Parse);
+        assert_eq!(spans[0].ii, None);
+        assert_eq!(spans[1].phase, Phase::Map);
+        assert_eq!(spans[1].ii, Some(3));
+        assert!(spans[1].start_us >= spans[0].start_us);
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let t = Telemetry::off();
+        assert!(!t.is_enabled());
+        t.bump(Counter::IiAttempts);
+        t.add(Counter::RoutingCalls, 100);
+        {
+            let _g = t.span(Phase::Route);
+        }
+        assert!(t.snapshot().is_none());
+        assert!(t.spans().is_empty());
+        assert!(t.sink().is_none());
+    }
+
+    #[test]
+    fn shared_sink_sums_across_clones() {
+        let t = Telemetry::enabled();
+        let (a, b) = (t.clone(), t.clone());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..1000 {
+                    a.bump(Counter::RoutingCalls);
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..1000 {
+                    b.bump(Counter::RoutingCalls);
+                }
+            });
+        });
+        assert_eq!(t.snapshot().unwrap().routing_calls, 2000);
+    }
+
+    #[test]
+    fn labels_are_snake_case_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Counter::ALL {
+            let l = c.label();
+            assert!(l.chars().all(|ch| ch.is_ascii_lowercase() || ch == '_'));
+            assert!(seen.insert(l));
+        }
+        for p in Phase::ALL {
+            assert!(!p.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn snapshot_serialises_every_counter_by_label() {
+        let t = Telemetry::enabled();
+        t.add(Counter::SolverDecisions, 7);
+        let snap = t.snapshot().unwrap();
+        let json = serde_json::to_string(&snap).unwrap();
+        let v = serde_json::from_str(&json).unwrap();
+        for c in Counter::ALL {
+            assert_eq!(
+                v[c.label()].as_u64(),
+                Some(snap.get(c)),
+                "field `{}` missing or wrong in {json}",
+                c.label()
+            );
+        }
+    }
+}

@@ -350,6 +350,10 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
+        // Remember where the expression started: `bump` advances past
+        // the offending token, which would misattribute the error to
+        // the following line.
+        let line = self.line();
         match self.bump() {
             TokenKind::Int(v) => Ok(Expr::Int(v)),
             TokenKind::LParen => {
@@ -380,7 +384,10 @@ impl Parser {
                     Ok(Expr::Var(name))
                 }
             }
-            other => Err(self.err(format!("unexpected {other} in expression"))),
+            other => Err(ParseError {
+                line,
+                message: format!("unexpected {other} in expression"),
+            }),
         }
     }
 }

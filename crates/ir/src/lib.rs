@@ -21,9 +21,10 @@
 //! let dfg = kernels::dot_product();
 //! assert!(dfg.validate().is_ok());
 //!
-//! // Or compile it from MiniC source.
+//! // Or compile it from MiniC source (`inout` carries the accumulator
+//! // across iterations).
 //! let src = r#"
-//! kernel dot(in a, in b, out acc) {
+//! kernel dot(in a, in b, inout acc) {
 //!     acc = acc + a * b;
 //! }
 //! "#;

@@ -111,6 +111,11 @@ pub fn cse(dfg: &mut Dfg) -> usize {
             ) {
                 continue;
             }
+            // Skip dead nodes: a merged-away duplicate keeps its operand
+            // edges until DCE runs, and re-matching it here would loop.
+            if dfg.out_edges(id).next().is_none() {
+                continue;
+            }
             let arity = op.ports().count();
             let mut key_ops = Vec::with_capacity(arity);
             let mut complete = true;
@@ -168,6 +173,12 @@ pub fn algebraic(dfg: &mut Dfg) -> usize {
             let op = node.op;
             let arity = op.ports().count();
             if arity != 2 {
+                continue;
+            }
+            // A node with no consumers is dead (DCE's business): acting
+            // on it cannot change behaviour, and a `Forward` rewrite
+            // would match it again forever since its operand edges stay.
+            if dfg.out_edges(id).next().is_none() {
                 continue;
             }
             let e0 = match dfg.operand(id, 0) {
@@ -617,6 +628,25 @@ mod tests {
         g.connect(s, o, 0);
         assert_eq!(algebraic(&mut g), 1);
         assert_eq!(g.op(NodeId(1)), OpKind::Const(0));
+    }
+
+    #[test]
+    fn optimize_terminates_on_forwarded_mul() {
+        // Regression: `1 * x` forwarded by `algebraic` used to leave a
+        // dead Mul whose intact operand edges re-matched the rewrite
+        // forever, hanging `optimize` (seen on the fir4.mc example).
+        let mut g = Dfg::new("fwd");
+        let x = g.add_node(OpKind::Input(0));
+        let one = g.add_node(OpKind::Const(1));
+        let m = g.add_node(OpKind::Mul);
+        g.connect(one, m, 0);
+        g.connect(x, m, 1);
+        let o = g.add_node(OpKind::Output(0));
+        g.connect(m, o, 0);
+        let before = behaviour(&g, 1, 4);
+        optimize(&mut g);
+        g.validate().unwrap();
+        assert_eq!(behaviour(&g, 1, 4), before);
     }
 
     #[test]

@@ -158,6 +158,12 @@ pub struct CpModel {
     /// degree heuristic).
     touching: Vec<Vec<usize>>,
     nodes: u64,
+    /// Search nodes across all solves (unlike `nodes`, never reset).
+    total_nodes: u64,
+    /// AC-3 constraint revisions performed across solves.
+    revisions: u64,
+    /// Domain wipe-outs (failed propagations) across solves.
+    wipeouts: u64,
 }
 
 impl Default for CpModel {
@@ -173,6 +179,21 @@ impl CpModel {
             constraints: Vec::new(),
             touching: Vec::new(),
             nodes: 0,
+            total_nodes: 0,
+            revisions: 0,
+            wipeouts: 0,
+        }
+    }
+
+    /// Cumulative search-effort counters: decisions are search nodes,
+    /// propagations are AC-3 constraint revisions, conflicts are domain
+    /// wipe-outs. CP has no restarts.
+    pub fn stats(&self) -> crate::stats::SolverStats {
+        crate::stats::SolverStats {
+            decisions: self.total_nodes,
+            propagations: self.revisions,
+            conflicts: self.wipeouts,
+            restarts: 0,
         }
     }
 
@@ -268,11 +289,20 @@ impl CpModel {
 
     /// AC-3 + all-different propagation to a fixpoint on `domains`.
     /// Returns false on a domain wipe-out.
-    fn propagate(&self, domains: &mut [Domain]) -> bool {
+    fn propagate(&mut self, domains: &mut [Domain]) -> bool {
+        let ok = self.propagate_inner(domains);
+        if !ok {
+            self.wipeouts += 1;
+        }
+        ok
+    }
+
+    fn propagate_inner(&mut self, domains: &mut [Domain]) -> bool {
         let mut queue: Vec<usize> = (0..self.constraints.len()).collect();
         let mut queued = vec![true; self.constraints.len()];
         while let Some(ci) = queue.pop() {
             queued[ci] = false;
+            self.revisions += 1;
             let mut touched_vars: Vec<usize> = Vec::new();
             match &self.constraints[ci] {
                 Constraint::Binary { x, y, pred } => {
@@ -397,6 +427,7 @@ impl CpModel {
         start: &Instant,
     ) -> SearchOutcome {
         self.nodes += 1;
+        self.total_nodes += 1;
         if self.nodes > cfg.node_limit || start.elapsed() > cfg.time_limit {
             return SearchOutcome::Budget;
         }
@@ -487,6 +518,7 @@ impl CpModel {
         start: &Instant,
     ) -> bool {
         self.nodes += 1;
+        self.total_nodes += 1;
         if self.nodes > cfg.node_limit || start.elapsed() > cfg.time_limit {
             return false;
         }

@@ -10,11 +10,25 @@
 //! the rounded value first.
 
 use crate::lp::{Cmp, Lp, LpResult};
+use std::cell::Cell;
 use std::time::{Duration, Instant};
 
 /// Handle to a binary variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IlpVar(pub usize);
+
+/// Search-effort cells. Interior mutability keeps `solve(&self)`
+/// observable without changing its signature; models are built and
+/// solved on one thread, so `Cell` is safe here.
+#[derive(Debug, Clone, Default)]
+struct IlpStats {
+    /// Branch-and-bound nodes expanded across solves.
+    nodes: Cell<u64>,
+    /// LP relaxations solved across solves.
+    lp_solves: Cell<u64>,
+    /// Nodes cut (infeasible relaxation or bound-pruned) across solves.
+    cuts: Cell<u64>,
+}
 
 /// A 0/1 ILP.
 #[derive(Debug, Clone)]
@@ -23,6 +37,7 @@ pub struct IlpModel {
     objective: Vec<f64>,
     constraints: Vec<(Vec<(usize, f64)>, Cmp, f64)>,
     maximize: bool,
+    stats: IlpStats,
 }
 
 /// Solve outcome.
@@ -64,6 +79,19 @@ impl IlpModel {
             objective: Vec::new(),
             constraints: Vec::new(),
             maximize,
+            stats: IlpStats::default(),
+        }
+    }
+
+    /// Cumulative search-effort counters: decisions are branch-and-bound
+    /// nodes, propagations are LP relaxations solved, conflicts are
+    /// infeasible or bound-pruned nodes. ILP has no restarts.
+    pub fn stats(&self) -> crate::stats::SolverStats {
+        crate::stats::SolverStats {
+            decisions: self.stats.nodes.get(),
+            propagations: self.stats.lp_solves.get(),
+            conflicts: self.stats.cuts.get(),
+            restarts: 0,
         }
     }
 
@@ -145,10 +173,15 @@ impl IlpModel {
                 break;
             }
             nodes += 1;
+            self.stats.nodes.set(self.stats.nodes.get() + 1);
             let lp = self.relaxation(&fixed);
+            self.stats.lp_solves.set(self.stats.lp_solves.get() + 1);
             let (x, bound) = match lp.solve() {
                 LpResult::Optimal { x, objective } => (x, objective),
-                LpResult::Infeasible => continue,
+                LpResult::Infeasible => {
+                    self.stats.cuts.set(self.stats.cuts.get() + 1);
+                    continue;
+                }
                 LpResult::Unbounded => {
                     // Binary variables are bounded; an unbounded
                     // relaxation means a modelling bug.
@@ -157,6 +190,7 @@ impl IlpModel {
             };
             if let Some((_, inc)) = &incumbent {
                 if !better(bound, *inc) {
+                    self.stats.cuts.set(self.stats.cuts.get() + 1);
                     continue; // bound cannot beat the incumbent
                 }
             }

@@ -27,9 +27,11 @@ pub mod ilp;
 pub mod lp;
 pub mod sat;
 pub mod smt;
+pub mod stats;
 
 pub use cp::{CpModel, CpSolution, CpVar};
 pub use ilp::{IlpModel, IlpResult, IlpVar};
 pub use lp::{Cmp, Lp, LpResult};
 pub use sat::{Lit, SatResult, SatSolver, SatVar};
 pub use smt::{DiffAtom, SmtResult, SmtSolver};
+pub use stats::SolverStats;

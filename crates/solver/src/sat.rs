@@ -92,6 +92,12 @@ pub struct SatSolver {
     unsat: bool,
     /// Statistics: total conflicts seen.
     pub conflicts: u64,
+    /// Statistics: total branching decisions made.
+    pub decisions: u64,
+    /// Statistics: total literals propagated.
+    pub propagations: u64,
+    /// Statistics: total Luby restarts performed.
+    pub restarts: u64,
     /// Conflict budget for `solve` (u64::MAX = off).
     pub conflict_budget: u64,
 }
@@ -119,7 +125,20 @@ impl SatSolver {
             var_inc: 1.0,
             unsat: false,
             conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            restarts: 0,
             conflict_budget: u64::MAX,
+        }
+    }
+
+    /// Cumulative search-effort counters.
+    pub fn stats(&self) -> crate::stats::SolverStats {
+        crate::stats::SolverStats {
+            decisions: self.decisions,
+            propagations: self.propagations,
+            conflicts: self.conflicts,
+            restarts: self.restarts,
         }
     }
 
@@ -218,6 +237,7 @@ impl SatSolver {
         while self.prop_head < self.trail.len() {
             let p = self.trail[self.prop_head];
             self.prop_head += 1;
+            self.propagations += 1;
             // Clauses watching ¬p must find a new watch or propagate.
             let mut ws = std::mem::take(&mut self.watches[p.index()]);
             let mut i = 0;
@@ -468,6 +488,7 @@ impl SatSolver {
                 None => {
                     if conflicts_since_restart >= restart_limit && !self.trail_lim.is_empty() {
                         restart_count += 1;
+                        self.restarts += 1;
                         conflicts_since_restart = 0;
                         restart_limit = 100 * Self::luby(restart_count);
                         self.cancel_until(0);
@@ -484,6 +505,7 @@ impl SatSolver {
                             return SatResult::Sat(model);
                         }
                         Some(l) => {
+                            self.decisions += 1;
                             self.trail_lim.push(self.trail.len());
                             self.enqueue(l, None);
                         }

@@ -40,6 +40,8 @@ pub struct SmtSolver {
     atoms: Vec<DiffAtom>,
     /// Budget on theory-refinement rounds.
     pub max_rounds: usize,
+    /// Statistics: negative cycles found (theory conflicts).
+    pub theory_conflicts: u64,
 }
 
 impl SmtSolver {
@@ -49,7 +51,16 @@ impl SmtSolver {
             num_int_vars,
             atoms: Vec::new(),
             max_rounds: 10_000,
+            theory_conflicts: 0,
         }
+    }
+
+    /// Cumulative search-effort counters: the embedded CDCL solver's
+    /// stats, with theory conflicts added to the conflict count.
+    pub fn stats(&self) -> crate::stats::SolverStats {
+        let mut s = self.sat.stats();
+        s.conflicts += self.theory_conflicts;
+        s
     }
 
     /// Create the atom `x − y ≤ c` and return the literal asserting it.
@@ -93,6 +104,7 @@ impl SmtSolver {
                             return SmtResult::Sat { model, values };
                         }
                         Some(cycle_lits) => {
+                            self.theory_conflicts += 1;
                             // Block this theory-inconsistent combination.
                             let clause: Vec<Lit> =
                                 cycle_lits.iter().map(|l| l.negate()).collect();

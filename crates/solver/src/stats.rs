@@ -1,0 +1,71 @@
+//! A common search-effort summary for every engine in this crate.
+//!
+//! The four oracles count different things natively (CDCL conflicts,
+//! AC-3 revisions, LP relaxations solved), but mapper-level telemetry
+//! wants one vocabulary; `SolverStats` is the translation layer each
+//! engine exposes via its `stats()` accessor.
+
+/// Cumulative search effort of one solver instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions (CDCL decides, CP/ILP branch nodes).
+    pub decisions: u64,
+    /// Propagation work (unit propagations, AC-3 revisions, LP solves).
+    pub propagations: u64,
+    /// Conflicts / dead ends (CDCL conflicts, CP failed propagations,
+    /// infeasible or pruned ILP nodes, SMT theory conflicts).
+    pub conflicts: u64,
+    /// Restarts (Luby restarts; zero for engines without restarts).
+    pub restarts: u64,
+}
+
+impl SolverStats {
+    /// Component-wise difference vs an earlier snapshot of the same
+    /// solver (saturating, so a fresh solver baseline is always safe).
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn merged(&self, other: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions + other.decisions,
+            propagations: self.propagations + other.propagations,
+            conflicts: self.conflicts + other.conflicts,
+            restarts: self.restarts + other.restarts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_and_merged() {
+        let a = SolverStats {
+            decisions: 10,
+            propagations: 100,
+            conflicts: 5,
+            restarts: 1,
+        };
+        let b = SolverStats {
+            decisions: 4,
+            propagations: 40,
+            conflicts: 2,
+            restarts: 0,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.decisions, 6);
+        assert_eq!(d.propagations, 60);
+        assert_eq!(b.since(&a), SolverStats::default());
+        let m = a.merged(&b);
+        assert_eq!(m.decisions, 14);
+        assert_eq!(m.restarts, 1);
+    }
+}

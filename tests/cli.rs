@@ -85,3 +85,91 @@ fn show_config_prints_contexts() {
     assert!(stdout.contains("configuration stream"), "{stdout}");
     assert!(stdout.contains("nop"));
 }
+
+#[test]
+fn trace_is_line_delimited_json_with_all_phases() {
+    let path = write_temp("dot5.mc", DOT);
+    let trace = std::env::temp_dir().join("cgra-cli-tests/trace.jsonl");
+    let out = bin()
+        .arg(&path)
+        .args(["--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let body = std::fs::read_to_string(&trace).unwrap();
+    let mut phases = std::collections::HashSet::new();
+    let mut counters_lines = 0;
+    for line in body.lines() {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("invalid JSON line `{line}`: {e}"));
+        match v["event"].as_str().unwrap() {
+            "span" => {
+                phases.insert(v["phase"].as_str().unwrap().to_string());
+                assert!(v["dur_us"].as_u64().is_some(), "{line}");
+            }
+            "counters" => {
+                counters_lines += 1;
+                assert!(v["counters"]["ii_attempts"].as_u64().unwrap() >= 1);
+                assert!(v["counters"]["placements_tried"].as_u64().unwrap() >= 1);
+            }
+            other => panic!("unexpected event `{other}`"),
+        }
+    }
+    for p in ["parse", "optimize", "map", "route", "validate", "simulate"] {
+        assert!(phases.contains(p), "phase `{p}` missing from trace:\n{body}");
+    }
+    assert_eq!(counters_lines, 1, "exactly one counters line expected");
+}
+
+#[test]
+fn profile_reports_search_effort() {
+    let path = write_temp("dot6.mc", DOT);
+    let out = bin()
+        .arg(&path)
+        .args(["--mapper", "sa", "--profile", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("search profile:"), "{stdout}");
+    assert!(stdout.contains("moves_proposed"), "{stdout}");
+    assert!(stdout.contains("moves_accepted"), "{stdout}");
+    for p in ["parse", "optimize", "map", "simulate"] {
+        assert!(stdout.contains(p), "phase `{p}` missing:\n{stdout}");
+    }
+}
+
+#[test]
+fn budget_flags_flow_into_json_config() {
+    let path = write_temp("dot7.mc", DOT);
+    let out = bin()
+        .arg(&path)
+        .args([
+            "--json", "--time-limit", "7", "--effort", "33", "--horizon", "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(v["config"]["time_limit_secs"].as_f64().unwrap(), 7.0);
+    assert_eq!(v["config"]["effort"].as_u64().unwrap(), 33);
+    assert_eq!(v["config"]["horizon_factor"].as_u64().unwrap(), 2);
+    // Telemetry is off without --trace/--profile: stats serialise null.
+    assert!(v["search_stats"].is_null());
+}
+
+#[test]
+fn json_with_profile_includes_search_stats() {
+    let path = write_temp("dot8.mc", DOT);
+    let out = bin()
+        .arg(&path)
+        .args(["--json", "--profile"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // The profile goes to stderr so stdout stays valid JSON.
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(v["search_stats"]["placements_tried"].as_u64().unwrap() >= 1);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("search profile:"), "{stderr}");
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy surface the workspace's property tests use —
+//! integer-range strategies, `any::<T>()`, tuples, `prop_map`,
+//! `prop::collection::vec` — plus the `proptest!`, `prop_assert!`, and
+//! `prop_assert_eq!` macros. Sampling is purely random (no shrinking);
+//! seeds derive deterministically from the test name so failures
+//! reproduce, and `PROPTEST_SEED` perturbs them when exploration is
+//! wanted.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+pub mod strategy;
+pub use strategy::{any, Strategy};
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// `prop::collection::vec` etc. live under this module path in the
+/// real crate's prelude.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::collection::*;
+    }
+}
+
+pub mod collection {
+    pub use crate::strategy::collection::*;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic per-test RNG (SplitMix64 over a hash of the test
+/// name, optionally perturbed by `PROPTEST_SEED`).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        let env = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng {
+            state: h.finish() ^ env ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Run `cases` sampled executions of a test body. Used by `proptest!`.
+pub fn run_cases(name: &str, cases: u32, mut body: impl FnMut(&mut TestRng)) {
+    let mut rng = TestRng::for_test(name);
+    for _ in 0..cases {
+        body(&mut rng);
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg = $cfg;
+            $crate::run_cases(stringify!($name), cfg.cases, |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)*
+                $body
+            });
+        }
+    )*};
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small parallel-iterator surface the workspace uses
+//! (`par_iter`, `into_par_iter`, `map`, `map_init`, `filter_map`,
+//! `collect`) with real parallelism via `std::thread::scope`: the item
+//! set is materialised up front, split into per-thread chunks, and
+//! results are re-assembled in input order. Unlike real rayon there is
+//! no work stealing, which is fine for the coarse-grained jobs
+//! (whole-kernel mapping runs, SA chains, GA fitness sweeps) this
+//! workspace fans out.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+fn thread_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.max(1))
+}
+
+/// Order-preserving parallel map with a per-thread init value — the
+/// execution engine under every combinator here.
+fn run_map_init<T, U, S, INIT, F>(items: Vec<T>, init: INIT, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|x| f(&mut state, x)).collect();
+    }
+    // Split into contiguous chunks, one per thread, preserving order.
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let init = &init;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move || {
+                    let mut state = init();
+                    c.into_iter().map(|x| f(&mut state, x)).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// A materialised parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> ParMapInit<T, INIT, F>
+    where
+        U: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> U + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+
+    pub fn filter_map<U, F>(self, f: F) -> ParFilterMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync,
+    {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_map_init(self.items, || (), |_, x| f(x));
+    }
+}
+
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        run_map_init(self.items, || (), |_, x| (self.f)(x)).into()
+    }
+}
+
+pub struct ParMapInit<T, INIT, F> {
+    items: Vec<T>,
+    init: INIT,
+    f: F,
+}
+
+impl<T, S, U, INIT, F> ParMapInit<T, INIT, F>
+where
+    T: Send,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        run_map_init(self.items, self.init, self.f).into()
+    }
+}
+
+pub struct ParFilterMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> Option<U> + Sync> ParFilterMap<T, F> {
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        run_map_init(self.items, || (), |_, x| (self.f)(x))
+            .into_iter()
+            .flatten()
+            .collect::<Vec<U>>()
+            .into()
+    }
+}
+
+/// Owned conversion (`(0..n).into_par_iter()`, `vec.into_par_iter()`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let v: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        assert_eq!(v, (0..100).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let v: Vec<u64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(v, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn map_init_reuses_state() {
+        let v: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, x| {
+                scratch.push(x);
+                scratch.len()
+            })
+            .collect();
+        // Each worker's scratch grows monotonically; per-item results
+        // are at least 1 and never exceed the chunk size.
+        assert!(v.iter().all(|&n| (1..=64).contains(&n)));
+    }
+}
