@@ -27,7 +27,7 @@ fn main() {
         time_limit: Duration::from_secs(if quick() { 3 } else { 15 }),
         ..MapConfig::default()
     };
-    let mappers = all_mappers();
+    let mappers = MapperRegistry::standard().build_all();
     eprintln!(
         "running {} mappers x {} kernels on {} ...",
         mappers.len(),

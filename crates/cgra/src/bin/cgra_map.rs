@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! cgra-map <file.mc> [--kernel NAME] [--fabric RxC] [--topology mesh|meshplus|torus|onehop]
-//!          [--mapper NAME] [--adres] [--iters N] [--max-ii N] [--seed N]
-//!          [--time-limit SECS] [--effort N] [--horizon N]
+//!          [--mapper NAME] [--race] [--parallel-ii] [--adres] [--iters N]
+//!          [--max-ii N] [--seed N] [--time-limit SECS] [--effort N] [--horizon N]
 //!          [--trace FILE] [--profile]
 //!          [--json] [--show-config] [--list-mappers]
 //! ```
@@ -23,6 +23,8 @@ struct Options {
     topology: Topology,
     adres: bool,
     mapper: String,
+    race: bool,
+    parallel_ii: bool,
     iters: usize,
     max_ii: u32,
     seed: u64,
@@ -44,6 +46,8 @@ fn usage() -> &'static str {
        --topology T        mesh | meshplus | torus | onehop (default mesh)\n\
        --adres             use the heterogeneous ADRES-like preset\n\
        --mapper NAME       mapping technique (see --list-mappers; default modulo-list)\n\
+       --race              race the whole mapper zoo; first validated mapping wins\n\
+       --parallel-ii       race candidate IIs concurrently instead of bottom-up\n\
        --iters N           iterations to simulate (default 16)\n\
        --max-ii N          II search bound (default 16)\n\
        --seed N            RNG seed for stochastic mappers\n\
@@ -66,6 +70,8 @@ fn parse_args() -> Result<Options, String> {
         topology: Topology::Mesh,
         adres: false,
         mapper: "modulo-list".into(),
+        race: false,
+        parallel_ii: false,
         iters: 16,
         max_ii: 16,
         seed: 0xC612A,
@@ -104,6 +110,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--adres" => opts.adres = true,
             "--mapper" => opts.mapper = need("--mapper")?,
+            "--race" => opts.race = true,
+            "--parallel-ii" => opts.parallel_ii = true,
             "--iters" => opts.iters = need("--iters")?.parse().map_err(|e| format!("{e}"))?,
             "--max-ii" => opts.max_ii = need("--max-ii")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => opts.seed = need("--seed")?.parse().map_err(|e| format!("{e}"))?,
@@ -142,13 +150,16 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
-    let mappers = all_mappers();
+    let registry = MapperRegistry::standard();
     if opts.list_mappers {
         println!("available mappers:");
-        for m in &mappers {
-            println!("  {:<16} {}", m.name(), m.family().label());
+        for spec in registry.specs() {
+            println!("  {:<16} {}", spec.name, spec.family.label());
         }
         return Ok(());
+    }
+    if opts.race && opts.parallel_ii {
+        return Err("--race and --parallel-ii are mutually exclusive".into());
     }
     let file = opts.file.as_ref().ok_or_else(|| usage().to_string())?;
 
@@ -180,10 +191,7 @@ fn run() -> Result<(), String> {
     } else {
         Fabric::homogeneous(opts.rows, opts.cols, opts.topology)
     };
-    let mapper = mappers
-        .iter()
-        .find(|m| m.name() == opts.mapper)
-        .ok_or_else(|| format!("unknown mapper `{}` (try --list-mappers)", opts.mapper))?;
+    let mapper = registry.build(&opts.mapper).map_err(|e| e.to_string())?;
     let defaults = MapConfig::default();
     let cfg = MapConfig {
         max_ii: opts.max_ii,
@@ -199,9 +207,34 @@ fn run() -> Result<(), String> {
     };
 
     let start = std::time::Instant::now();
-    let mapping = mapper
-        .map(&dfg, &fabric, &cfg)
-        .map_err(|e| format!("mapping failed: {e}"))?;
+    let mut race_outcome = None;
+    let (mapping, mapper_name, family_label) = if opts.race {
+        let zoo = registry.build_all();
+        let outcome = race(&zoo, &dfg, &fabric, &cfg, None);
+        let winner = outcome
+            .winner
+            .clone()
+            .ok_or_else(|| race_failure_report(&outcome))?;
+        let mapping = outcome.mapping.clone().expect("a winner implies a mapping");
+        let family = registry
+            .get(&winner)
+            .map(|s| s.family.label().to_string())
+            .unwrap_or_default();
+        race_outcome = Some(outcome);
+        (mapping, winner, family)
+    } else {
+        let result = if opts.parallel_ii {
+            parallel_ii(mapper.as_ref(), &dfg, &fabric, &cfg)
+        } else {
+            mapper.map(&dfg, &fabric, &cfg)
+        };
+        let mapping = result.map_err(|e| format!("mapping failed: {e}"))?;
+        (
+            mapping,
+            mapper.name().to_string(),
+            mapper.family().label().to_string(),
+        )
+    };
     let compile_ms = start.elapsed().as_secs_f64() * 1e3;
     {
         let _span = tele.span(Phase::Validate);
@@ -241,11 +274,19 @@ fn run() -> Result<(), String> {
             "effort": cfg.effort,
             "horizon_factor": cfg.horizon_factor,
         });
+        let race_json = match &race_outcome {
+            Some(outcome) => serde_json::json!({
+                "winner": outcome.winner,
+                "wall_ms": outcome.wall_ms,
+                "entries": outcome.entries,
+            }),
+            None => serde_json::Value::Null,
+        };
         let report = serde_json::json!({
             "kernel": dfg.name,
             "fabric": fabric.name,
-            "mapper": mapper.name(),
-            "family": mapper.family().label(),
+            "mapper": mapper_name,
+            "family": family_label,
             "compile_ms": compile_ms,
             "config": config_json,
             "metrics": metrics,
@@ -253,6 +294,7 @@ fn run() -> Result<(), String> {
             "throughput": stats.throughput,
             "energy": run_energy,
             "search_stats": tele.snapshot(),
+            "race": race_json,
         });
         println!("{}", serde_json::to_string_pretty(&report).unwrap());
     } else {
@@ -261,8 +303,11 @@ fn run() -> Result<(), String> {
             dfg.name,
             dfg.node_count(),
             fabric.name,
-            mapper.name()
+            mapper_name
         );
+        if let Some(outcome) = &race_outcome {
+            println!("{}", render_race(outcome));
+        }
         println!(
             "  II={} schedule={} utilisation={:.1}% hops={} peak-regs={}",
             metrics.ii,
@@ -291,6 +336,53 @@ fn run() -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// One line per race entry: status (II or typed error kind) + time.
+fn render_race(outcome: &RaceOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  race over {} mappers decided in {:.1} ms wall:",
+        outcome.entries.len(),
+        outcome.wall_ms
+    );
+    let _ = writeln!(out, "    {:<16} {:>10} {:>10}", "mapper", "status", "ms");
+    for e in &outcome.entries {
+        let status = match (&e.metrics, &e.error_detail) {
+            (Some(m), _) => format!("II={}", m.ii),
+            (None, Some(err)) => err.kind().to_string(),
+            (None, None) => "-".to_string(),
+        };
+        let marker = if Some(&e.mapper) == outcome.winner.as_ref() {
+            " <- winner"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {:<16} {:>10} {:>10.1}{marker}",
+            e.mapper, status, e.compile_ms
+        );
+    }
+    out.trim_end().to_string()
+}
+
+/// The error for a race in which no mapper produced a valid mapping.
+fn race_failure_report(outcome: &RaceOutcome) -> String {
+    let detail: Vec<String> = outcome
+        .entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{}: {}",
+                e.mapper,
+                e.error.as_deref().unwrap_or("no mapping")
+            )
+        })
+        .collect();
+    format!("race failed: no mapper won\n  {}", detail.join("\n  "))
 }
 
 /// Emit the trace as JSON Lines: one `span` event per recorded phase

@@ -34,30 +34,38 @@
 //! ```
 
 pub mod ctrlflow;
+pub mod engine;
 pub mod mapper;
 pub mod mappers;
 pub mod mapping;
 pub mod memmap;
 pub mod metrics;
 pub mod portfolio;
+pub mod registry;
 pub mod route;
 pub mod streaming;
 pub mod telemetry;
 pub mod validate;
 
-pub use mapper::{Family, MapConfig, MapError, Mapper};
+pub use engine::{race, parallel_ii, Budget, CancelToken, RaceOutcome};
+pub use mapper::{ConfigError, Family, MapConfig, MapConfigBuilder, MapError, Mapper};
 pub use mapping::{Mapping, Placement, Route};
 pub use metrics::Metrics;
+pub use registry::{MapperRegistry, MapperSpec, UnknownMapper};
 pub use telemetry::{Counter, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry};
 pub use validate::{validate, ValidationError};
 
 /// Everything a mapper user needs.
 pub mod prelude {
-    pub use crate::mapper::{Family, MapConfig, MapError, Mapper};
+    pub use crate::engine::{race, parallel_ii, Budget, CancelToken, RaceOutcome};
+    pub use crate::mapper::{
+        ConfigError, Family, MapConfig, MapConfigBuilder, MapError, Mapper,
+    };
     pub use crate::mappers::*;
     pub use crate::mapping::{Mapping, Placement, Route};
     pub use crate::metrics::Metrics;
     pub use crate::portfolio::{run_portfolio, PortfolioEntry};
+    pub use crate::registry::{MapperRegistry, MapperSpec, UnknownMapper};
     pub use crate::telemetry::{Counter, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry};
     pub use crate::validate::validate;
 }

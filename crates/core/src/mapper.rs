@@ -1,5 +1,6 @@
 //! The `Mapper` trait, configuration, errors, and the Table I taxonomy.
 
+use crate::engine::Budget;
 use crate::mapping::Mapping;
 use crate::telemetry::Telemetry;
 use cgra_arch::Fabric;
@@ -43,8 +44,11 @@ impl Family {
 /// Mapper configuration and budgets.
 #[derive(Debug, Clone)]
 pub struct MapConfig {
-    /// Search IIs from MII up to this bound (inclusive).
+    /// Search IIs from `max(MII, min_ii)` up to this bound (inclusive).
     pub max_ii: u32,
+    /// Floor on the II search (default 1). The parallel-II engine pins
+    /// a job to a single II by setting `min_ii == max_ii`.
+    pub min_ii: u32,
     /// Cap on the schedule horizon, as a multiple of the critical path.
     pub horizon_factor: u32,
     /// Wall-clock budget.
@@ -58,17 +62,24 @@ pub struct MapConfig {
     /// enabled, mappers record counters and phase spans into it. See
     /// [`crate::telemetry`].
     pub telemetry: Telemetry,
+    /// Externally imposed budget (deadline + cancel token). Unlimited
+    /// by default; mappers derive their per-run budget from it via
+    /// [`MapConfig::run_budget`], so a racing engine can cancel a run
+    /// mid-search through the shared token. See [`crate::engine`].
+    pub budget: Budget,
 }
 
 impl Default for MapConfig {
     fn default() -> Self {
         MapConfig {
             max_ii: 16,
+            min_ii: 1,
             horizon_factor: 4,
             time_limit: Duration::from_secs(20),
             seed: 0xC6_12A,
             effort: 100,
             telemetry: Telemetry::off(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -83,17 +94,162 @@ impl MapConfig {
             ..Self::default()
         }
     }
+
+    /// A validating builder (rejects zero II/horizon bounds).
+    pub fn builder() -> MapConfigBuilder {
+        MapConfigBuilder::default()
+    }
+
+    /// The budget one mapper run must obey: the externally imposed
+    /// [`MapConfig::budget`] tightened by this config's `time_limit`.
+    /// Replaces the per-mapper `Instant::now() + time_limit` deadlines.
+    pub fn run_budget(&self) -> Budget {
+        self.budget.child(self.time_limit)
+    }
+
+    /// The II range a temporal mapper must search, given the kernel's
+    /// MII — the shared guard of every II loop. `Err` when the fabric
+    /// lacks a required resource class (`mii == u32::MAX`) or the range
+    /// is empty under `max_ii`/`context_depth`/`min_ii`.
+    pub fn ii_range(&self, mii: u32, fabric: &Fabric) -> Result<(u32, u32), MapError> {
+        if mii == u32::MAX {
+            return Err(MapError::Infeasible(
+                "fabric lacks a required resource class".into(),
+            ));
+        }
+        let hi = self.max_ii.min(fabric.context_depth);
+        let lo = mii.max(self.min_ii);
+        if lo > hi {
+            return Err(MapError::Infeasible(format!(
+                "MII {lo} exceeds the II bound {hi}"
+            )));
+        }
+        Ok((lo, hi))
+    }
 }
 
-/// Why a mapper failed.
+/// Builder for [`MapConfig`] that validates bounds at `build()`.
+///
+/// ```
+/// use cgra_mapper_core::MapConfig;
+/// use std::time::Duration;
+///
+/// let cfg = MapConfig::builder()
+///     .max_ii(8)
+///     .time_limit(Duration::from_secs(5))
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.max_ii, 8);
+/// assert!(MapConfig::builder().max_ii(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MapConfigBuilder {
+    cfg: MapConfig,
+}
+
+impl MapConfigBuilder {
+    pub fn max_ii(mut self, max_ii: u32) -> Self {
+        self.cfg.max_ii = max_ii;
+        self
+    }
+
+    pub fn min_ii(mut self, min_ii: u32) -> Self {
+        self.cfg.min_ii = min_ii;
+        self
+    }
+
+    pub fn horizon_factor(mut self, horizon_factor: u32) -> Self {
+        self.cfg.horizon_factor = horizon_factor;
+        self
+    }
+
+    pub fn time_limit(mut self, time_limit: Duration) -> Self {
+        self.cfg.time_limit = time_limit;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn effort(mut self, effort: u32) -> Self {
+        self.cfg.effort = effort;
+        self
+    }
+
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<MapConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.max_ii == 0 {
+            return Err(ConfigError("max_ii must be at least 1".into()));
+        }
+        if c.min_ii == 0 {
+            return Err(ConfigError("min_ii must be at least 1".into()));
+        }
+        if c.min_ii > c.max_ii {
+            return Err(ConfigError(format!(
+                "min_ii {} exceeds max_ii {}",
+                c.min_ii, c.max_ii
+            )));
+        }
+        if c.horizon_factor == 0 {
+            return Err(ConfigError("horizon_factor must be at least 1".into()));
+        }
+        if c.time_limit.is_zero() {
+            return Err(ConfigError("time_limit must be positive".into()));
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// An invalid [`MapConfig`] rejected by the builder.
 #[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid map config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why a mapper failed. Structured and serializable so `--json`
+/// consumers can dispatch on the variant instead of parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MapError {
     /// Proven or suspected infeasible within the II/horizon bounds.
     Infeasible(String),
     /// Budget exhausted before a valid mapping was found.
     Timeout,
+    /// The run was cancelled through its budget's token (e.g. a rival
+    /// mapper won a portfolio race first).
+    Cancelled,
     /// The DFG uses a feature the mapper does not support.
     Unsupported(String),
+}
+
+impl MapError {
+    /// Stable machine-readable discriminant for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MapError::Infeasible(_) => "infeasible",
+            MapError::Timeout => "timeout",
+            MapError::Cancelled => "cancelled",
+            MapError::Unsupported(_) => "unsupported",
+        }
+    }
 }
 
 impl fmt::Display for MapError {
@@ -101,6 +257,7 @@ impl fmt::Display for MapError {
         match self {
             MapError::Infeasible(why) => write!(f, "infeasible: {why}"),
             MapError::Timeout => write!(f, "budget exhausted"),
+            MapError::Cancelled => write!(f, "cancelled: budget token fired"),
             MapError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }

@@ -11,12 +11,12 @@
 //! approach scale).
 
 use super::state::SchedState;
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::Fabric;
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
-use std::time::Instant;
 
 /// The branch-and-bound mapper.
 #[derive(Debug, Clone)]
@@ -41,8 +41,8 @@ impl Default for BranchAndBound {
 struct Bb<'a> {
     order: Vec<NodeId>,
     nodes: u64,
-    budget: u64,
-    deadline: Instant,
+    node_budget: u64,
+    wall: &'a Budget,
     beam: usize,
     window_iis: u32,
     state: SchedState<'a>,
@@ -55,7 +55,7 @@ impl<'a> Bb<'a> {
         }
         self.nodes += 1;
         self.state.tele.bump(Counter::NodesExpanded);
-        if self.nodes > self.budget || Instant::now() > self.deadline {
+        if self.nodes > self.node_budget || self.wall.expired() {
             self.state.tele.bump(Counter::NodesPruned);
             return false;
         }
@@ -96,7 +96,7 @@ impl BranchAndBound {
         fabric: &Fabric,
         ii: u32,
         hop: &[Vec<u32>],
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
@@ -108,8 +108,8 @@ impl BranchAndBound {
         let mut bb = Bb {
             order,
             nodes: 0,
-            budget: self.node_budget,
-            deadline,
+            node_budget: self.node_budget,
+            wall: budget,
             beam: self.beam,
             window_iis: self.window_iis,
             state: SchedState::new(dfg, fabric, ii, hop, tele.clone()),
@@ -135,29 +135,19 @@ impl Mapper for BranchAndBound {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
-        for ii in mii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
+        let budget = cfg.run_budget();
+        for ii in min_ii..=max_ii {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
                 return Ok(m);
             }
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
+            if budget.expired_now() {
+                return Err(budget.error());
             }
         }
         Err(MapError::Infeasible(format!(
-            "search exhausted for II {mii}..={max_ii}"
+            "search exhausted for II {min_ii}..={max_ii}"
         )))
     }
 }

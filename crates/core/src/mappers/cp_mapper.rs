@@ -8,6 +8,7 @@
 //! CEGAR loop blocks placements the router cannot realise.
 
 use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
@@ -15,7 +16,6 @@ use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
 use cgra_solver::cp::CpConfig;
 use cgra_solver::{CpModel, CpSolution, CpVar};
-use std::time::Instant;
 
 /// The CP mapper.
 #[derive(Debug, Clone)]
@@ -42,7 +42,7 @@ impl CpMapper {
         fabric: &Fabric,
         ii: u32,
         hop: &[Vec<u32>],
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Result<Option<Mapping>, MapError> {
         tele.bump(Counter::IiAttempts);
@@ -51,8 +51,8 @@ impl CpMapper {
         let mut blocked: Vec<Vec<(PeId, u32)>> = Vec::new();
 
         for _ in 0..self.cegar_rounds.max(1) {
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
+            if budget.expired_now() {
+                return Err(budget.error());
             }
             let mut model = CpModel::new();
             let vars: Vec<CpVar> = space
@@ -127,15 +127,15 @@ impl CpMapper {
                 }
             }
 
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            model.set_interrupt(budget.interrupt());
             let sol = model.solve_with(CpConfig {
-                time_limit: remaining,
+                time_limit: budget.remaining().unwrap_or(std::time::Duration::MAX),
                 node_limit: 500_000,
             });
             add_solver_stats(tele, model.stats());
             match sol {
                 CpSolution::Unsat => return Ok(None),
-                CpSolution::Unknown => return Err(MapError::Timeout),
+                CpSolution::Unknown => return Err(budget.error()),
                 CpSolution::Sat(values) => {
                     let chosen: Vec<(PeId, u32)> = values
                         .iter()
@@ -166,28 +166,18 @@ impl Mapper for CpMapper {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
-        for ii in mii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
+        let budget = cfg.run_budget();
+        for ii in min_ii..=max_ii {
+            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),
             }
         }
         Err(MapError::Infeasible(format!(
-            "CP infeasible for every II in {mii}..={max_ii} (candidate window)"
+            "CP infeasible for every II in {min_ii}..={max_ii} (candidate window)"
         )))
     }
 }

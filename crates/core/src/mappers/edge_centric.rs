@@ -9,12 +9,12 @@
 //! routing.
 
 use super::state::SchedState;
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId, SpaceTime};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
-use std::time::Instant;
 
 /// The edge-centric mapper.
 #[derive(Debug, Clone)]
@@ -88,7 +88,7 @@ impl EdgeCentric {
         fabric: &Fabric,
         ii: u32,
         hop: &[Vec<u32>],
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
@@ -100,7 +100,7 @@ impl EdgeCentric {
         order.sort_by_key(|n| std::cmp::Reverse(height[n.index()]));
 
         for &n in &order {
-            if Instant::now() > deadline {
+            if budget.expired() {
                 return None;
             }
             let est = state.est(n);
@@ -192,29 +192,19 @@ impl Mapper for EdgeCentric {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
-        for ii in mii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
+        let budget = cfg.run_budget();
+        for ii in min_ii..=max_ii {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
                 return Ok(m);
             }
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
+            if budget.expired_now() {
+                return Err(budget.error());
             }
         }
         Err(MapError::Infeasible(format!(
-            "no II in {mii}..={max_ii} admits a schedule"
+            "no II in {min_ii}..={max_ii} admits a schedule"
         )))
     }
 }

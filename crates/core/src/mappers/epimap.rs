@@ -18,13 +18,13 @@
 //! Routing is materialised once at the end (negotiated PathFinder); a
 //! routing failure backtracks into the search.
 
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::{Mapping, Placement};
 use crate::route::route_all_with;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
-use std::time::Instant;
 
 /// The MCS-based mapper.
 #[derive(Debug, Clone)]
@@ -55,7 +55,7 @@ struct Search<'a> {
     attempts: u64,
     max_attempts: u64,
     window_iis: u32,
-    deadline: Instant,
+    budget: &'a Budget,
     tele: Telemetry,
 }
 
@@ -98,7 +98,7 @@ impl<'a> Search<'a> {
             return true;
         }
         self.tele.bump(Counter::NodesExpanded);
-        if self.attempts >= self.max_attempts || Instant::now() > self.deadline {
+        if self.attempts >= self.max_attempts || self.budget.expired() {
             self.tele.bump(Counter::NodesPruned);
             return false;
         }
@@ -165,7 +165,7 @@ impl EpiMap {
         fabric: &Fabric,
         ii: u32,
         hop: &[Vec<u32>],
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
@@ -186,7 +186,7 @@ impl EpiMap {
             attempts: 0,
             max_attempts: self.max_attempts,
             window_iis: self.window_iis,
-            deadline,
+            budget,
             tele: tele.clone(),
         };
         if !search.dfs(0) {
@@ -211,29 +211,19 @@ impl Mapper for EpiMap {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
-        for ii in mii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
+        let budget = cfg.run_budget();
+        for ii in min_ii..=max_ii {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
                 return Ok(m);
             }
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
+            if budget.expired_now() {
+                return Err(budget.error());
             }
         }
         Err(MapError::Infeasible(format!(
-            "no II in {mii}..={max_ii} admits an embedding"
+            "no II in {min_ii}..={max_ii} admits an embedding"
         )))
     }
 }

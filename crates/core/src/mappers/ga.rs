@@ -9,6 +9,7 @@
 //! Population fitness is evaluated in parallel with rayon.
 
 use super::meta_common::{eval_binding, finish_binding, legal_schedule, random_binding};
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
@@ -17,7 +18,6 @@ use cgra_ir::Dfg;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// The GA mapper.
 #[derive(Debug, Clone)]
@@ -51,7 +51,7 @@ impl Genetic {
         hop: &[Vec<u32>],
         ii: u32,
         seed: u64,
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Vec<(u64, Vec<PeId>)> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -73,7 +73,7 @@ impl Genetic {
         let mut best_cost = u64::MAX;
 
         for _gen in 0..self.generations {
-            if Instant::now() > deadline {
+            if budget.expired_now() {
                 break;
             }
             scored = pop
@@ -148,21 +148,11 @@ impl Mapper for Genetic {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
+        let budget = cfg.run_budget();
 
-        for ii in mii..=max_ii {
+        for ii in min_ii..=max_ii {
             cfg.telemetry.bump(Counter::IiAttempts);
             let _span = cfg.telemetry.span_ii(Phase::Map, ii);
             let scored = self.evolve(
@@ -171,7 +161,7 @@ impl Mapper for Genetic {
                 &hop,
                 ii,
                 cfg.seed ^ ii as u64,
-                deadline,
+                &budget,
                 &cfg.telemetry,
             );
             for (_, binding) in scored.into_iter().take(3) {
@@ -182,12 +172,12 @@ impl Mapper for Genetic {
                     }
                 }
             }
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
+            if budget.expired_now() {
+                return Err(budget.error());
             }
         }
         Err(MapError::Infeasible(format!(
-            "no routable individual in II {mii}..={max_ii}"
+            "no routable individual in II {min_ii}..={max_ii}"
         )))
     }
 }

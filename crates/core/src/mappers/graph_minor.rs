@@ -10,13 +10,13 @@
 //! different permutation when the downstream embedding fails, and the
 //! branch sets are materialised by the router at the end.
 
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::{Mapping, Placement};
 use crate::route::route_all_with;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
-use std::time::Instant;
 
 /// The level-matching minor-embedding mapper.
 #[derive(Debug, Clone)]
@@ -40,7 +40,7 @@ impl GraphMinor {
         fabric: &Fabric,
         ii: u32,
         hop: &[Vec<u32>],
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
@@ -56,11 +56,11 @@ impl GraphMinor {
         // Time of a level: spread levels `spacing` cycles apart so hops
         // have slack; spacing grows on retry.
         for spacing in 1..=3u32 {
-            if Instant::now() > deadline {
+            if budget.expired_now() {
                 return None;
             }
             if let Some(m) =
-                self.embed(dfg, fabric, ii, hop, &by_level, spacing, deadline, tele)
+                self.embed(dfg, fabric, ii, hop, &by_level, spacing, budget, tele)
             {
                 return Some(m);
             }
@@ -77,14 +77,14 @@ impl GraphMinor {
         hop: &[Vec<u32>],
         by_level: &[Vec<NodeId>],
         spacing: u32,
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         let mut place: Vec<Option<Placement>> = vec![None; dfg.node_count()];
         let mut fu: std::collections::HashSet<(PeId, u32)> = std::collections::HashSet::new();
 
         for (lvl, ops) in by_level.iter().enumerate() {
-            if Instant::now() > deadline {
+            if budget.expired() {
                 return None;
             }
             let t = lvl as u32 * spacing;
@@ -176,29 +176,19 @@ impl Mapper for GraphMinor {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
-        for ii in mii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
+        let budget = cfg.run_budget();
+        for ii in min_ii..=max_ii {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
                 return Ok(m);
             }
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
+            if budget.expired_now() {
+                return Err(budget.error());
             }
         }
         Err(MapError::Infeasible(format!(
-            "no II in {mii}..={max_ii} admits a minor embedding"
+            "no II in {min_ii}..={max_ii} admits a minor embedding"
         )))
     }
 }

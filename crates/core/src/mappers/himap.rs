@@ -11,12 +11,12 @@
 //! is found (HiMap "terminates when a valid mapping is found").
 
 use super::state::SchedState;
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
-use std::time::Instant;
 
 /// The hierarchical mapper.
 #[derive(Debug, Clone)]
@@ -135,7 +135,7 @@ impl HiMap {
         clusters: &[usize],
         centres: &[(f64, f64)],
         region_radius: u32,
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
@@ -147,7 +147,7 @@ impl HiMap {
         order.sort_by_key(|n| std::cmp::Reverse(height[n.index()]));
 
         for &n in &order {
-            if Instant::now() > deadline {
+            if budget.expired() {
                 return None;
             }
             let est = state.est(n);
@@ -205,26 +205,16 @@ impl Mapper for HiMap {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
         let clusters = cluster_dfg(dfg, self.cluster_size);
         let centres = self.region_centres(dfg, &clusters, fabric);
-        let deadline = Instant::now() + cfg.time_limit;
+        let budget = cfg.run_budget();
         let max_radius = (fabric.rows.max(fabric.cols)) as u32 + 1;
 
         // Iterate: grow the region radius, then the II — terminating
         // when a valid mapping is found.
-        for ii in mii..=max_ii {
+        for ii in min_ii..=max_ii {
             let mut radius = 2;
             while radius <= max_radius {
                 if let Some(m) = self.try_ii(
@@ -235,19 +225,19 @@ impl Mapper for HiMap {
                     &clusters,
                     &centres,
                     radius,
-                    deadline,
+                    &budget,
                     &cfg.telemetry,
                 ) {
                     return Ok(m);
                 }
-                if Instant::now() > deadline {
-                    return Err(MapError::Timeout);
+                if budget.expired_now() {
+                    return Err(budget.error());
                 }
                 radius *= 2;
             }
         }
         Err(MapError::Infeasible(format!(
-            "no II in {mii}..={max_ii} admits a hierarchical mapping"
+            "no II in {min_ii}..={max_ii} admits a hierarchical mapping"
         )))
     }
 }

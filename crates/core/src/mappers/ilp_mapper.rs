@@ -10,6 +10,7 @@
 //! CEGAR loop handles register congestion the linear model cannot see.
 
 use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
@@ -17,7 +18,7 @@ use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
 use cgra_solver::{Cmp, IlpModel, IlpResult, IlpVar};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::Duration;
 
 /// The ILP mapper.
 #[derive(Debug, Clone)]
@@ -45,7 +46,7 @@ impl IlpMapper {
         fabric: &Fabric,
         ii: u32,
         hop: &[Vec<u32>],
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Result<Option<Mapping>, MapError> {
         tele.bump(Counter::IiAttempts);
@@ -55,8 +56,8 @@ impl IlpMapper {
         let mut blocked: Vec<Vec<(PeId, u32)>> = Vec::new();
 
         for _ in 0..self.cegar_rounds.max(1) {
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
+            if budget.expired_now() {
+                return Err(budget.error());
             }
             let mut model = IlpModel::new(false); // minimise
             let vars: Vec<Vec<IlpVar>> = space
@@ -124,8 +125,9 @@ impl IlpMapper {
                 model.add_constraint(&row, Cmp::Le, bl.len() as f64 - 1.0);
             }
 
+            model.set_interrupt(budget.interrupt());
             let result = model.solve_with(cgra_solver::ilp::IlpConfig {
-                time_limit: deadline.saturating_duration_since(Instant::now()),
+                time_limit: budget.remaining().unwrap_or(Duration::MAX),
                 node_limit: 4_000,
             });
             add_solver_stats(tele, model.stats());
@@ -133,7 +135,7 @@ impl IlpMapper {
                 IlpResult::Optimal { values, .. } => values,
                 IlpResult::Infeasible => return Ok(None),
                 IlpResult::Budget { values: Some(v), .. } => v,
-                IlpResult::Budget { values: None, .. } => return Err(MapError::Timeout),
+                IlpResult::Budget { values: None, .. } => return Err(budget.error()),
             };
             // Decode.
             let mut chosen: Vec<(PeId, u32)> = Vec::with_capacity(dfg.node_count());
@@ -173,28 +175,18 @@ impl Mapper for IlpMapper {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
-        for ii in mii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
+        let budget = cfg.run_budget();
+        for ii in min_ii..=max_ii {
+            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),
             }
         }
         Err(MapError::Infeasible(format!(
-            "ILP infeasible for every II in {mii}..={max_ii} (candidate window)"
+            "ILP infeasible for every II in {min_ii}..={max_ii} (candidate window)"
         )))
     }
 }

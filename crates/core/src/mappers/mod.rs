@@ -42,40 +42,16 @@ pub use smt_mapper::SmtMapper;
 pub use spatial_greedy::SpatialGreedy;
 
 use crate::mapper::Mapper;
+use crate::registry::MapperRegistry;
 
-/// Every mapper at default settings — the Table I experiment portfolio.
+/// Every mapper at default settings — the Table I experiment
+/// portfolio. Built from [`MapperRegistry::standard`].
 pub fn all_mappers() -> Vec<Box<dyn Mapper>> {
-    vec![
-        Box::new(SpatialGreedy::default()),
-        Box::new(GraphDrawing::default()),
-        Box::new(ModuloList::default()),
-        Box::new(EdgeCentric::default()),
-        Box::new(EpiMap::default()),
-        Box::new(Ramp::default()),
-        Box::new(HiMap::default()),
-        Box::new(GraphMinor::default()),
-        Box::new(SimulatedAnnealing::default()),
-        Box::new(Genetic::default()),
-        Box::new(Qea::default()),
-        Box::new(IlpMapper::default()),
-        Box::new(BranchAndBound::default()),
-        Box::new(CpMapper::default()),
-        Box::new(SatMapper::default()),
-        Box::new(SmtMapper::default()),
-    ]
+    MapperRegistry::standard().build_all()
 }
 
 /// The fast heuristic subset (used where exact mappers would blow the
-/// budget).
+/// budget). Built from [`MapperRegistry::standard`].
 pub fn heuristic_mappers() -> Vec<Box<dyn Mapper>> {
-    vec![
-        Box::new(SpatialGreedy::default()),
-        Box::new(GraphDrawing::default()),
-        Box::new(ModuloList::default()),
-        Box::new(EdgeCentric::default()),
-        Box::new(EpiMap::default()),
-        Box::new(Ramp::default()),
-        Box::new(HiMap::default()),
-        Box::new(GraphMinor::default()),
-    ]
+    MapperRegistry::standard().build_heuristics()
 }

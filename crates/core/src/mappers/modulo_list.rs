@@ -11,13 +11,13 @@
 //! until it fits" loop of the survey's modulo-scheduling section.
 
 use super::state::SchedState;
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::Fabric;
 use cgra_ir::graph;
 use cgra_ir::{Dfg, NodeId, OpKind};
-use std::time::Instant;
 
 /// How the II space is searched — an ablation axis (DESIGN.md §4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,7 +75,7 @@ impl ModuloList {
         fabric: &Fabric,
         ii: u32,
         hop: &[Vec<u32>],
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
@@ -88,7 +88,7 @@ impl ModuloList {
         order.sort_by_key(|n| std::cmp::Reverse(height[n.index()]));
 
         for &n in &order {
-            if Instant::now() > deadline {
+            if budget.expired() {
                 return None;
             }
             let est = state.est(n);
@@ -129,44 +129,33 @@ impl Mapper for ModuloList {
     fn map(&self, dfg: &Dfg, fabric: &Fabric, cfg: &MapConfig) -> Result<Mapping, MapError> {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
-        let mii = Self::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(Self::mii(dfg, fabric), fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
+        let budget = cfg.run_budget();
 
         match self.ii_search {
             IiSearch::BottomUp => {
-                for ii in mii..=max_ii {
-                    if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
+                for ii in min_ii..=max_ii {
+                    if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
                         return Ok(m);
                     }
-                    if Instant::now() > deadline {
-                        return Err(MapError::Timeout);
+                    if budget.expired_now() {
+                        return Err(budget.error());
                     }
                 }
                 Err(MapError::Infeasible(format!(
-                    "no II in {mii}..={max_ii} admits a schedule"
+                    "no II in {min_ii}..={max_ii} admits a schedule"
                 )))
             }
             IiSearch::Binary => {
                 // Feasibility is not monotone for greedy list scheduling,
                 // but binary search is still the classic fast probe: find
                 // the smallest II in the probe set that succeeds.
-                let (mut lo, mut hi) = (mii, max_ii);
+                let (mut lo, mut hi) = (min_ii, max_ii);
                 let mut best: Option<Mapping> = None;
                 while lo <= hi {
                     let mid = lo + (hi - lo) / 2;
-                    match self.try_ii(dfg, fabric, mid, &hop, deadline, &cfg.telemetry) {
+                    match self.try_ii(dfg, fabric, mid, &hop, &budget, &cfg.telemetry) {
                         Some(m) => {
                             best = Some(m);
                             if mid == 0 {
@@ -181,12 +170,12 @@ impl Mapper for ModuloList {
                             lo = mid + 1;
                         }
                     }
-                    if Instant::now() > deadline {
+                    if budget.expired_now() {
                         break;
                     }
                 }
                 best.ok_or(MapError::Infeasible(format!(
-                    "no II in {mii}..={max_ii} admits a schedule"
+                    "no II in {min_ii}..={max_ii} admits a schedule"
                 )))
             }
         }

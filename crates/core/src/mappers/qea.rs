@@ -17,7 +17,6 @@ use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// The QEA mapper.
 #[derive(Debug, Clone)]
@@ -52,22 +51,12 @@ impl Mapper for Qea {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
+        let budget = cfg.run_budget();
         let n = dfg.node_count();
 
-        for ii in mii..=max_ii {
+        for ii in min_ii..=max_ii {
             cfg.telemetry.bump(Counter::IiAttempts);
             let _span = cfg.telemetry.span_ii(Phase::Map, ii);
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ (ii as u64) << 7);
@@ -93,7 +82,7 @@ impl Mapper for Qea {
             let mut best: Option<(u64, Vec<PeId>)> = None;
 
             for _gen in 0..self.generations {
-                if Instant::now() > deadline {
+                if budget.expired_now() {
                     break;
                 }
                 // Observe.
@@ -161,12 +150,12 @@ impl Mapper for Qea {
                     }
                 }
             }
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
+            if budget.expired_now() {
+                return Err(budget.error());
             }
         }
         Err(MapError::Infeasible(format!(
-            "no routable observation in II {mii}..={max_ii}"
+            "no routable observation in II {min_ii}..={max_ii}"
         )))
     }
 }

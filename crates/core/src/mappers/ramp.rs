@@ -7,13 +7,13 @@
 //! rip-up/remap rounds fail does the II increase.
 
 use super::state::SchedState;
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::Fabric;
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 use std::collections::VecDeque;
-use std::time::Instant;
 
 /// The failure-driven remapping mapper.
 #[derive(Debug, Clone)]
@@ -40,7 +40,7 @@ impl Ramp {
         fabric: &Fabric,
         ii: u32,
         hop: &[Vec<u32>],
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
@@ -55,7 +55,7 @@ impl Ramp {
         let mut ripups = 0u32;
 
         while let Some(n) = queue.pop_front() {
-            if Instant::now() > deadline {
+            if budget.expired() {
                 return None;
             }
             if state.placed(n).is_some() {
@@ -138,29 +138,19 @@ impl Mapper for Ramp {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
-        for ii in mii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
+        let budget = cfg.run_budget();
+        for ii in min_ii..=max_ii {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
                 return Ok(m);
             }
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
+            if budget.expired_now() {
+                return Err(budget.error());
             }
         }
         Err(MapError::Infeasible(format!(
-            "no II in {mii}..={max_ii} admits a schedule"
+            "no II in {min_ii}..={max_ii} admits a schedule"
         )))
     }
 }

@@ -9,6 +9,7 @@
 //! champion is routed.
 
 use super::meta_common::{eval_binding, finish_binding, legal_schedule, random_binding};
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
@@ -17,7 +18,6 @@ use cgra_ir::Dfg;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// Cooling schedule — an ablation axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,7 +58,7 @@ impl SimulatedAnnealing {
         hop: &[Vec<u32>],
         ii: u32,
         seed: u64,
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Option<(u64, Vec<PeId>)> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -70,10 +70,13 @@ impl SimulatedAnnealing {
         let mut temp = 1000.0f64;
         let sweeps = self.sweeps.max(4);
         for sweep in 0..sweeps {
-            if Instant::now() > deadline {
+            if budget.expired_now() {
                 break;
             }
             for _ in 0..(3 * n) {
+                if budget.expired() {
+                    break;
+                }
                 // Propose: relocate (70%) or swap (30%).
                 tele.bump(Counter::MovesProposed);
                 let mut cand = binding.clone();
@@ -128,21 +131,11 @@ impl Mapper for SimulatedAnnealing {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
+        let budget = cfg.run_budget();
 
-        for ii in mii..=max_ii {
+        for ii in min_ii..=max_ii {
             cfg.telemetry.bump(Counter::IiAttempts);
             let _span = cfg.telemetry.span_ii(Phase::Map, ii);
             // Parallel chains; pick the champion.
@@ -155,7 +148,7 @@ impl Mapper for SimulatedAnnealing {
                         &hop,
                         ii,
                         cfg.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ii as u64,
-                        deadline,
+                        &budget,
                         &cfg.telemetry,
                     )
                 })
@@ -170,12 +163,12 @@ impl Mapper for SimulatedAnnealing {
                     }
                 }
             }
-            if Instant::now() > deadline {
-                return Err(MapError::Timeout);
+            if budget.expired_now() {
+                return Err(budget.error());
             }
         }
         Err(MapError::Infeasible(format!(
-            "annealing found no routable binding in II {mii}..={max_ii}"
+            "annealing found no routable binding in II {min_ii}..={max_ii}"
         )))
     }
 }

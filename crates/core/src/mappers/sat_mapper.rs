@@ -10,6 +10,7 @@
 //! clause and re-solves — a CEGAR loop.
 
 use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
@@ -18,7 +19,6 @@ use cgra_ir::Dfg;
 use cgra_solver::cnf::{at_most_one, exactly_one, AmoEncoding};
 use cgra_solver::{Lit, SatResult, SatSolver};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// The SAT mapper.
 #[derive(Debug, Clone)]
@@ -50,13 +50,14 @@ impl SatMapper {
         fabric: &Fabric,
         ii: u32,
         hop: &[Vec<u32>],
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Result<Option<Mapping>, MapError> {
         tele.bump(Counter::IiAttempts);
         let _span = tele.span_ii(Phase::Map, ii);
         let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, self.position_cap);
         let mut solver = SatSolver::new();
+        solver.interrupt = budget.interrupt();
 
         // Variables.
         let vars: Vec<Vec<Lit>> = space
@@ -106,12 +107,12 @@ impl SatMapper {
         // CEGAR: solve, route, block, repeat.
         let result: Result<Option<Mapping>, MapError> = 'cegar: {
             for _ in 0..self.cegar_rounds.max(1) {
-                if Instant::now() > deadline {
-                    break 'cegar Err(MapError::Timeout);
+                if budget.expired_now() {
+                    break 'cegar Err(budget.error());
                 }
                 match solver.solve() {
                     SatResult::Unsat => break 'cegar Ok(None),
-                    SatResult::Unknown => break 'cegar Err(MapError::Timeout),
+                    SatResult::Unknown => break 'cegar Err(budget.error()),
                     SatResult::Sat(model) => {
                         let chosen: Vec<(PeId, u32)> = space
                             .positions
@@ -165,29 +166,18 @@ impl Mapper for SatMapper {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
-            ));
-        }
-        let max_ii = cfg.max_ii.min(fabric.context_depth);
-        if mii > max_ii {
-            return Err(MapError::Infeasible(format!(
-                "MII {mii} exceeds the II bound {max_ii}"
-            )));
-        }
+        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let hop = fabric.hop_distance();
-        let deadline = Instant::now() + cfg.time_limit;
-        for ii in mii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, deadline, &cfg.telemetry) {
+        let budget = cfg.run_budget();
+        for ii in min_ii..=max_ii {
+            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
-                Err(MapError::Timeout) => return Err(MapError::Timeout),
                 Err(e) => return Err(e),
             }
         }
         Err(MapError::Infeasible(format!(
-            "UNSAT for every II in {mii}..={max_ii} (within the candidate window)"
+            "UNSAT for every II in {min_ii}..={max_ii} (within the candidate window)"
         )))
     }
 }

@@ -14,6 +14,7 @@
 //! paper.
 
 use super::exact_common::add_solver_stats;
+use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::route::route_all_with;
@@ -21,7 +22,6 @@ use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{graph, Dfg, OpKind};
 use cgra_solver::{Lit, SmtResult, SmtSolver};
-use std::time::Instant;
 
 /// The SMT mapper.
 #[derive(Debug, Clone)]
@@ -44,7 +44,7 @@ impl SmtMapper {
         fabric: &Fabric,
         horizon: u32,
         hop: &[Vec<u32>],
-        deadline: Instant,
+        budget: &Budget,
         tele: &Telemetry,
     ) -> Result<Option<Mapping>, MapError> {
         tele.bump(Counter::IiAttempts);
@@ -140,15 +140,16 @@ impl SmtMapper {
             }
         }
 
-        if Instant::now() > deadline {
-            return Err(MapError::Timeout);
+        if budget.expired_now() {
+            return Err(budget.error());
         }
         smt.sat.conflict_budget = 2_000_000;
+        smt.sat.interrupt = budget.interrupt();
         let outcome = smt.solve();
         add_solver_stats(tele, smt.stats());
         match outcome {
             SmtResult::Unsat => Ok(None),
-            SmtResult::Unknown => Err(MapError::Timeout),
+            SmtResult::Unknown => Err(budget.error()),
             SmtResult::Sat { model, values } => {
                 // Decode binding and times (normalise to t_zero).
                 let t0 = values[zero];
@@ -191,13 +192,13 @@ impl Mapper for SmtMapper {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let lat = |op: OpKind| fabric.latency_of(op);
         let cp = graph::critical_path(dfg, &lat).max(1);
-        let deadline = Instant::now() + cfg.time_limit;
+        let budget = cfg.run_budget();
         let hop = fabric.hop_distance();
 
-        let mut horizon = cp;
+        let mut horizon = cp.max(cfg.min_ii);
         for _ in 0..self.max_probes.max(1) {
             let h = horizon.min(fabric.context_depth);
-            match self.try_horizon(dfg, fabric, h, &hop, deadline, &cfg.telemetry) {
+            match self.try_horizon(dfg, fabric, h, &hop, &budget, &cfg.telemetry) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),

@@ -1,7 +1,7 @@
 //! The mapper portfolio: run many mappers over many kernels (in
 //! parallel) and collect the rows of the Table I experiment.
 
-use crate::mapper::{Family, MapConfig, Mapper};
+use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::metrics::Metrics;
 use crate::telemetry::{StatsSnapshot, Telemetry};
 use crate::validate::validate;
@@ -21,7 +21,13 @@ pub struct PortfolioEntry {
     pub kernel: String,
     /// `Some(metrics)` on success (and validation), `None` on failure.
     pub metrics: Option<Metrics>,
+    /// Human-readable rendering of `error_detail`.
     pub error: Option<String>,
+    /// The typed failure, so JSON consumers dispatch on the variant
+    /// (`Cancelled` race losers, `Timeout`, …) instead of parsing
+    /// prose. Invalid mapper output is recorded as `Infeasible`.
+    #[serde(default)]
+    pub error_detail: Option<MapError>,
     pub compile_ms: f64,
     /// Search-effort counters recorded by a per-job telemetry sink
     /// (present for both successes and failures).
@@ -59,12 +65,15 @@ pub fn run_portfolio(
             let start = Instant::now();
             let result = mapper.map(kernel, fabric, &job_cfg);
             let compile_ms = start.elapsed().as_secs_f64() * 1e3;
-            let (metrics, error) = match result {
+            let (metrics, error_detail) = match result {
                 Ok(m) => match validate(&m, kernel, fabric) {
                     Ok(()) => (Some(Metrics::of(&m, kernel, fabric)), None),
-                    Err(e) => (None, Some(format!("INVALID OUTPUT: {e}"))),
+                    Err(e) => (
+                        None,
+                        Some(MapError::Infeasible(format!("INVALID OUTPUT: {e}"))),
+                    ),
                 },
-                Err(e) => (None, Some(e.to_string())),
+                Err(e) => (None, Some(e)),
             };
             PortfolioEntry {
                 mapper: mapper.name().to_string(),
@@ -73,7 +82,8 @@ pub fn run_portfolio(
                 spatial: mapper.is_spatial(),
                 kernel: kernel.name.clone(),
                 metrics,
-                error,
+                error: error_detail.as_ref().map(|e| e.to_string()),
+                error_detail,
                 compile_ms,
                 stats: job_cfg.telemetry.snapshot(),
             }

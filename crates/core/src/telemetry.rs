@@ -58,11 +58,14 @@ pub enum Counter {
     SolverConflicts,
     /// Solver restarts (Luby restarts).
     SolverRestarts,
+    /// Runs stopped by a budget cancellation (portfolio race losers,
+    /// parallel-II jobs dominated by a better II).
+    Cancellations,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 14] = [
         Counter::IiAttempts,
         Counter::PlacementsTried,
         Counter::Backtracks,
@@ -76,6 +79,7 @@ impl Counter {
         Counter::SolverPropagations,
         Counter::SolverConflicts,
         Counter::SolverRestarts,
+        Counter::Cancellations,
     ];
 
     /// Snake-case name used in traces and reports.
@@ -94,6 +98,7 @@ impl Counter {
             Counter::SolverPropagations => "solver_propagations",
             Counter::SolverConflicts => "solver_conflicts",
             Counter::SolverRestarts => "solver_restarts",
+            Counter::Cancellations => "cancellations",
         }
     }
 }
@@ -233,6 +238,7 @@ impl SearchStats {
             solver_propagations: self.get(Counter::SolverPropagations),
             solver_conflicts: self.get(Counter::SolverConflicts),
             solver_restarts: self.get(Counter::SolverRestarts),
+            cancellations: self.get(Counter::Cancellations),
         }
     }
 }
@@ -263,6 +269,7 @@ pub struct StatsSnapshot {
     pub solver_propagations: u64,
     pub solver_conflicts: u64,
     pub solver_restarts: u64,
+    pub cancellations: u64,
 }
 
 impl StatsSnapshot {
@@ -281,6 +288,7 @@ impl StatsSnapshot {
             Counter::SolverPropagations => self.solver_propagations,
             Counter::SolverConflicts => self.solver_conflicts,
             Counter::SolverRestarts => self.solver_restarts,
+            Counter::Cancellations => self.cancellations,
         }
     }
 

@@ -164,6 +164,9 @@ pub struct CpModel {
     revisions: u64,
     /// Domain wipe-outs (failed propagations) across solves.
     wipeouts: u64,
+    /// Cooperative stop signal, polled once per search node. Inert by
+    /// default; solves return `Unknown` when it fires.
+    interrupt: crate::interrupt::Interrupt,
 }
 
 impl Default for CpModel {
@@ -182,7 +185,13 @@ impl CpModel {
             total_nodes: 0,
             revisions: 0,
             wipeouts: 0,
+            interrupt: crate::interrupt::Interrupt::none(),
         }
+    }
+
+    /// Install a cooperative stop signal checked at every search node.
+    pub fn set_interrupt(&mut self, interrupt: crate::interrupt::Interrupt) {
+        self.interrupt = interrupt;
     }
 
     /// Cumulative search-effort counters: decisions are search nodes,
@@ -428,7 +437,10 @@ impl CpModel {
     ) -> SearchOutcome {
         self.nodes += 1;
         self.total_nodes += 1;
-        if self.nodes > cfg.node_limit || start.elapsed() > cfg.time_limit {
+        if self.nodes > cfg.node_limit
+            || start.elapsed() > cfg.time_limit
+            || self.interrupt.should_stop()
+        {
             return SearchOutcome::Budget;
         }
         // MRV with max-degree tiebreak.
@@ -519,7 +531,10 @@ impl CpModel {
     ) -> bool {
         self.nodes += 1;
         self.total_nodes += 1;
-        if self.nodes > cfg.node_limit || start.elapsed() > cfg.time_limit {
+        if self.nodes > cfg.node_limit
+            || start.elapsed() > cfg.time_limit
+            || self.interrupt.should_stop()
+        {
             return false;
         }
         // Admissible lower bound on the total cost in this subtree.

@@ -38,6 +38,9 @@ pub struct IlpModel {
     constraints: Vec<(Vec<(usize, f64)>, Cmp, f64)>,
     maximize: bool,
     stats: IlpStats,
+    /// Cooperative stop signal, polled once per branch-and-bound node.
+    /// Inert by default; solves return `Budget` when it fires.
+    interrupt: crate::interrupt::Interrupt,
 }
 
 /// Solve outcome.
@@ -80,7 +83,13 @@ impl IlpModel {
             constraints: Vec::new(),
             maximize,
             stats: IlpStats::default(),
+            interrupt: crate::interrupt::Interrupt::none(),
         }
+    }
+
+    /// Install a cooperative stop signal checked at every B&B node.
+    pub fn set_interrupt(&mut self, interrupt: crate::interrupt::Interrupt) {
+        self.interrupt = interrupt;
     }
 
     /// Cumulative search-effort counters: decisions are branch-and-bound
@@ -134,6 +143,7 @@ impl IlpModel {
 
     fn relaxation(&self, fixed: &[Option<bool>]) -> Lp {
         let mut lp = Lp::new(self.num_vars, self.maximize);
+        lp.set_interrupt(self.interrupt.clone());
         for (v, &c) in self.objective.iter().enumerate() {
             lp.set_objective(v, c);
         }
@@ -168,7 +178,10 @@ impl IlpModel {
         let mut exhausted = true;
 
         while let Some(fixed) = stack.pop() {
-            if nodes >= cfg.node_limit || start.elapsed() > cfg.time_limit {
+            if nodes >= cfg.node_limit
+                || start.elapsed() > cfg.time_limit
+                || self.interrupt.should_stop()
+            {
                 exhausted = false;
                 break;
             }
@@ -186,6 +199,12 @@ impl IlpModel {
                     // Binary variables are bounded; an unbounded
                     // relaxation means a modelling bug.
                     panic!("0/1 ILP relaxation cannot be unbounded");
+                }
+                LpResult::Interrupted => {
+                    // The stop signal landed mid-pivot; the node is
+                    // unexplored, so the search is not exhausted.
+                    exhausted = false;
+                    break;
                 }
             };
             if let Some((_, inc)) = &incumbent {

@@ -18,12 +18,17 @@
 //! * [`cp`] — a finite-domain constraint-programming engine (AC-3,
 //!   all-different, MRV/degree branching).
 //!
+//! Every engine accepts an [`Interrupt`] (deadline + shared cancel
+//! flag, stride-amortised polling) so callers can abort a search
+//! mid-flight; see [`interrupt`].
+//!
 //! The engines are general-purpose: nothing in this crate knows about
 //! CGRAs. `cgra-mapper-core` builds the mapping encodings on top.
 
 pub mod cnf;
 pub mod cp;
 pub mod ilp;
+pub mod interrupt;
 pub mod lp;
 pub mod sat;
 pub mod smt;
@@ -31,6 +36,7 @@ pub mod stats;
 
 pub use cp::{CpModel, CpSolution, CpVar};
 pub use ilp::{IlpModel, IlpResult, IlpVar};
+pub use interrupt::Interrupt;
 pub use lp::{Cmp, Lp, LpResult};
 pub use sat::{Lit, SatResult, SatSolver, SatVar};
 pub use smt::{DiffAtom, SmtResult, SmtSolver};

@@ -21,6 +21,7 @@ pub struct Lp {
     constraints: Vec<(Vec<f64>, Cmp, f64)>,
     objective: Vec<f64>,
     maximize: bool,
+    interrupt: crate::interrupt::Interrupt,
 }
 
 /// Outcome of a solve.
@@ -29,6 +30,15 @@ pub enum LpResult {
     Optimal { x: Vec<f64>, objective: f64 },
     Infeasible,
     Unbounded,
+    /// The attached [`Interrupt`](crate::interrupt::Interrupt) fired
+    /// mid-pivot; the tableau was abandoned, no result is available.
+    Interrupted,
+}
+
+/// Why [`Lp::iterate`] stopped before reaching optimality.
+enum IterStop {
+    Unbounded,
+    Interrupted,
 }
 
 const EPS: f64 = 1e-9;
@@ -41,7 +51,16 @@ impl Lp {
             constraints: Vec::new(),
             objective: vec![0.0; num_vars],
             maximize,
+            interrupt: crate::interrupt::Interrupt::none(),
         }
+    }
+
+    /// Attach a stop signal polled once per pivot — one simplex solve
+    /// on a few hundred columns can take long enough that a caller's
+    /// cancellation must be able to land mid-solve, not just between
+    /// solves.
+    pub fn set_interrupt(&mut self, interrupt: crate::interrupt::Interrupt) {
+        self.interrupt = interrupt;
     }
 
     pub fn num_vars(&self) -> usize {
@@ -143,9 +162,11 @@ impl Lp {
                     }
                 }
             }
-            if Self::iterate(&mut t, &mut z, &mut basis, total).is_err() {
+            match self.iterate(&mut t, &mut z, &mut basis, total) {
+                Ok(()) => {}
                 // Unbounded phase 1 cannot happen with bounded objective.
-                return LpResult::Infeasible;
+                Err(IterStop::Unbounded) => return LpResult::Infeasible,
+                Err(IterStop::Interrupted) => return LpResult::Interrupted,
             }
             if z[total] < -EPS {
                 return LpResult::Infeasible;
@@ -184,8 +205,10 @@ impl Lp {
                 }
             }
         }
-        if Self::iterate(&mut t, &mut z, &mut basis, total).is_err() {
-            return LpResult::Unbounded;
+        match self.iterate(&mut t, &mut z, &mut basis, total) {
+            Ok(()) => {}
+            Err(IterStop::Unbounded) => return LpResult::Unbounded,
+            Err(IterStop::Interrupted) => return LpResult::Interrupted,
         }
 
         let mut x = vec![0.0; n];
@@ -203,16 +226,21 @@ impl Lp {
         LpResult::Optimal { x, objective }
     }
 
-    /// Run simplex iterations until optimal (`Ok`) or unbounded (`Err`).
+    /// Run simplex iterations until optimal (`Ok`), unbounded, or the
+    /// attached interrupt fires (`Err`).
     fn iterate(
+        &self,
         t: &mut [Vec<f64>],
         z: &mut [f64],
         basis: &mut [usize],
         total: usize,
-    ) -> Result<(), ()> {
+    ) -> Result<(), IterStop> {
         let m = t.len();
         // Generous iteration cap; Bland's rule guarantees termination.
         for _ in 0..100_000 {
+            if self.interrupt.should_stop() {
+                return Err(IterStop::Interrupted);
+            }
             // Entering column: Bland — smallest index with negative
             // reduced cost.
             let enter = (0..total).find(|&j| z[j] < -EPS);
@@ -235,7 +263,7 @@ impl Lp {
                 }
             }
             let Some(leave) = leave else {
-                return Err(()); // unbounded
+                return Err(IterStop::Unbounded);
             };
             Self::pivot(t, z, basis, leave, enter, total);
         }

@@ -100,6 +100,9 @@ pub struct SatSolver {
     pub restarts: u64,
     /// Conflict budget for `solve` (u64::MAX = off).
     pub conflict_budget: u64,
+    /// Cooperative stop signal, polled once per CDCL loop iteration.
+    /// Inert by default; `solve` returns `Unknown` when it fires.
+    pub interrupt: crate::interrupt::Interrupt,
 }
 
 impl Default for SatSolver {
@@ -129,6 +132,7 @@ impl SatSolver {
             propagations: 0,
             restarts: 0,
             conflict_budget: u64::MAX,
+            interrupt: crate::interrupt::Interrupt::none(),
         }
     }
 
@@ -457,6 +461,10 @@ impl SatSolver {
         let mut restart_limit = 100 * Self::luby(0);
 
         loop {
+            if self.interrupt.should_stop() {
+                self.cancel_until(0);
+                return SatResult::Unknown;
+            }
             match self.propagate() {
                 Some(confl) => {
                     self.conflicts += 1;

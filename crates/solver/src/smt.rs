@@ -78,8 +78,15 @@ impl SmtSolver {
     }
 
     /// Solve the CDCL(T) loop.
+    ///
+    /// The embedded CDCL solver polls `self.sat.interrupt` inside its
+    /// search loop; the refinement loop re-checks it here so a stop
+    /// signal also lands between theory rounds.
     pub fn solve(&mut self) -> SmtResult {
         for _ in 0..self.max_rounds {
+            if self.sat.interrupt.should_stop_now() {
+                return SmtResult::Unknown;
+            }
             match self.sat.solve() {
                 SatResult::Unsat => return SmtResult::Unsat,
                 SatResult::Unknown => return SmtResult::Unknown,
