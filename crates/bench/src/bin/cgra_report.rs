@@ -1,0 +1,286 @@
+//! `cgra-report` — inspect and regression-gate directories of
+//! [`RunReport`] artifacts (written by `table1 --report DIR` or any
+//! other driver that saves them).
+//!
+//! ```text
+//! cgra-report DIR                      render convergence + race summary
+//! cgra-report --baseline BASE DIR      diff DIR against BASE and gate:
+//!                                      exit 1 if any (kernel, arch, mapper)
+//!                                      cell loses its mapping or worsens
+//!                                      its II
+//! cgra-report --baseline BASE DIR --max-slowdown 50
+//!                                      also fail cells >50% slower in wall
+//! ```
+//!
+//! The gate ignores cells present on only one side (suite drift is a
+//! review concern, not a regression), so baselines stay usable while
+//! the kernel suite grows.
+
+use cgra::mapper::ledger::LedgerEvent;
+use cgra::mapper::report::RunReport;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Options {
+    dir: Option<String>,
+    baseline: Option<String>,
+    /// Wall-clock regression tolerance in percent; `None` = no wall gate.
+    max_slowdown: Option<f64>,
+}
+
+fn usage() -> &'static str {
+    "usage: cgra-report [--baseline BASE_DIR] [--max-slowdown PCT] DIR\n\
+     \n\
+     Renders per-mapper convergence tables and the race timeline from a\n\
+     directory of RunReport JSON artifacts. With --baseline, diffs DIR\n\
+     against BASE_DIR and exits non-zero when any (kernel, arch, mapper)\n\
+     cell regresses: a lost mapping, a worse II, or (with --max-slowdown)\n\
+     a wall-time slowdown beyond PCT percent."
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        dir: None,
+        baseline: None,
+        max_slowdown: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--baseline" => opts.baseline = Some(need("--baseline")?),
+            "--max-slowdown" => {
+                opts.max_slowdown = Some(
+                    need("--max-slowdown")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            dir => opts.dir = Some(dir.to_string()),
+        }
+    }
+    if opts.dir.is_none() {
+        return Err(usage().to_string());
+    }
+    Ok(opts)
+}
+
+fn load(dir: &str) -> Result<Vec<RunReport>, String> {
+    let reports =
+        RunReport::load_dir(std::path::Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+    if reports.is_empty() {
+        return Err(format!("{dir}: no run reports found"));
+    }
+    Ok(reports)
+}
+
+/// The identity of one experiment cell across runs.
+fn key(r: &RunReport) -> (String, String, String) {
+    (r.instance.clone(), r.arch.clone(), r.mapper.clone())
+}
+
+fn fmt_ii(r: &RunReport) -> String {
+    match r.ii() {
+        Some(ii) => format!("II={ii}"),
+        None => "failed".to_string(),
+    }
+}
+
+/// Per-report convergence row: how the search's incumbents evolved.
+fn convergence_row(r: &RunReport) -> String {
+    let incumbents: Vec<&LedgerEvent> = r
+        .events
+        .iter()
+        .filter(|e| e.kind.label() == "incumbent")
+        .collect();
+    let attempts = r
+        .events
+        .iter()
+        .filter(|e| e.kind.label() == "ii_attempt")
+        .count();
+    let trail = match (incumbents.first(), incumbents.last()) {
+        (Some(first), Some(last)) if incumbents.len() > 1 => format!(
+            "{} @{}us -> {} @{}us",
+            first.kind.ii().map(|x| x.to_string()).unwrap_or_default(),
+            first.t_us,
+            last.kind.ii().map(|x| x.to_string()).unwrap_or_default(),
+            last.t_us
+        ),
+        (Some(only), _) => format!(
+            "{} @{}us",
+            only.kind.ii().map(|x| x.to_string()).unwrap_or_default(),
+            only.t_us
+        ),
+        _ => "-".to_string(),
+    };
+    format!(
+        "  {:<18} {:<14} {:>8} {:>9} {:>10.1}  {}",
+        r.instance,
+        fmt_ii(r),
+        attempts,
+        incumbents.len(),
+        r.compile_ms,
+        trail
+    )
+}
+
+/// Render the per-mapper convergence tables.
+fn render_convergence(reports: &[RunReport]) {
+    let mut by_mapper: BTreeMap<&str, Vec<&RunReport>> = BTreeMap::new();
+    for r in reports {
+        by_mapper.entry(&r.mapper).or_default().push(r);
+    }
+    for (mapper, rows) in by_mapper {
+        println!("\nmapper `{mapper}`:");
+        println!(
+            "  {:<18} {:<14} {:>8} {:>9} {:>10}  incumbent trail (II @ time)",
+            "kernel", "result", "IIs", "incumb.", "wall ms"
+        );
+        for r in rows {
+            println!("{}", convergence_row(r));
+        }
+    }
+}
+
+/// Render every race timeline found in the reports' event journals.
+fn render_races(reports: &[RunReport]) {
+    let mut printed_header = false;
+    for r in reports {
+        let race: Vec<&LedgerEvent> = r
+            .events
+            .iter()
+            .filter(|e| e.kind.label().starts_with("race_"))
+            .collect();
+        if race.is_empty() {
+            continue;
+        }
+        if !printed_header {
+            println!("\nrace timelines:");
+            printed_header = true;
+        }
+        println!("  {} / {} / {}:", r.instance, r.arch, r.mapper);
+        for e in race {
+            let who = e.kind.mapper();
+            let detail = match (e.kind.label(), e.kind.ii()) {
+                ("race_win", Some(ii)) => format!("won at II={ii}"),
+                ("race_win", None) => "won".to_string(),
+                ("race_start", _) => "entered".to_string(),
+                _ => "out".to_string(),
+            };
+            println!("    {:>8}us  {:<16} {}", e.t_us, who, detail);
+        }
+    }
+}
+
+/// One regression found by the baseline gate.
+struct Regression {
+    cell: (String, String, String),
+    what: String,
+}
+
+/// Diff current against baseline; returns regressions (gate failures).
+fn diff(
+    baseline: &[RunReport],
+    current: &[RunReport],
+    max_slowdown: Option<f64>,
+) -> Vec<Regression> {
+    let base: BTreeMap<_, &RunReport> = baseline.iter().map(|r| (key(r), r)).collect();
+    let mut regressions = Vec::new();
+    let mut improvements = 0usize;
+    let mut matched = 0usize;
+    for cur in current {
+        let k = key(cur);
+        let Some(prev) = base.get(&k) else { continue };
+        matched += 1;
+        match (prev.ii(), cur.ii()) {
+            (Some(b), Some(c)) if c > b => regressions.push(Regression {
+                cell: k.clone(),
+                what: format!("II regressed {b} -> {c}"),
+            }),
+            (Some(b), None) => regressions.push(Regression {
+                cell: k.clone(),
+                what: format!(
+                    "lost its mapping (baseline II={b}, now: {})",
+                    cur.error.as_deref().unwrap_or("unknown failure")
+                ),
+            }),
+            (Some(b), Some(c)) if c < b => improvements += 1,
+            (None, Some(_)) => improvements += 1,
+            _ => {}
+        }
+        if let Some(pct) = max_slowdown {
+            if prev.compile_ms > 0.0 && cur.compile_ms > prev.compile_ms * (1.0 + pct / 100.0) {
+                regressions.push(Regression {
+                    cell: k.clone(),
+                    what: format!(
+                        "wall time {:.1} ms -> {:.1} ms (> {pct}% slower)",
+                        prev.compile_ms, cur.compile_ms
+                    ),
+                });
+            }
+        }
+    }
+    println!(
+        "\nbaseline gate: {matched} cells compared, {improvements} improved, {} regressed",
+        regressions.len()
+    );
+    regressions
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dir = opts.dir.as_deref().expect("checked in parse_args");
+    let current = match load(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{} run reports from {dir} ({} mappers, {} kernels)",
+        current.len(),
+        current
+            .iter()
+            .map(|r| r.mapper.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        current
+            .iter()
+            .map(|r| r.instance.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    );
+    render_convergence(&current);
+    render_races(&current);
+
+    if let Some(base_dir) = &opts.baseline {
+        let baseline = match load(base_dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        let regressions = diff(&baseline, &current, opts.max_slowdown);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                let (kernel, arch, mapper) = &r.cell;
+                eprintln!("REGRESSION {kernel} / {arch} / {mapper}: {}", r.what);
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("baseline gate: OK");
+    }
+    ExitCode::SUCCESS
+}

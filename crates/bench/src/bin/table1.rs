@@ -10,24 +10,88 @@
 //!
 //! ```sh
 //! cargo run --release -p cgra-bench --bin table1
+//! cargo run --release -p cgra-bench --bin table1 -- \
+//!     --report reports/ --kernels dot_product,fir4 --mappers modulo-list,sa
 //! ```
+//!
+//! With `--report DIR`, one versioned [`RunReport`] JSON artifact is
+//! written per (mapper, kernel) cell — the input format of
+//! `cgra-report`, which renders convergence tables and gates CI on
+//! regressions against a baseline directory.
 
 use cgra::prelude::*;
 use cgra_bench::{quick, save_json};
 use std::time::Duration;
 
+struct Options {
+    /// Write one RunReport per (mapper, kernel) cell into this dir.
+    report: Option<String>,
+    /// Restrict the kernel suite to these names (comma-separated).
+    kernels: Option<Vec<String>>,
+    /// Restrict the mapper zoo to these names (comma-separated).
+    mappers: Option<Vec<String>>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        report: None,
+        kernels: None,
+        mappers: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        let list = |v: String| v.split(',').map(|s| s.trim().to_string()).collect();
+        match a.as_str() {
+            "--report" => opts.report = Some(need("--report")?),
+            "--kernels" => opts.kernels = Some(list(need("--kernels")?)),
+            "--mappers" => opts.mappers = Some(list(need("--mappers")?)),
+            other => {
+                return Err(format!(
+                    "unknown option `{other}`\nusage: table1 [--report DIR] [--kernels a,b] [--mappers x,y]"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
 fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
     // Part 1: the published table from the corpus.
     println!("{}", survey::render_table1());
 
     // Part 2: the empirical counterpart.
     let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
-    let kernels = kernels::suite();
+    let mut kernels = kernels::suite();
+    if let Some(keep) = &opts.kernels {
+        kernels.retain(|k| keep.iter().any(|n| n == &k.name));
+        if kernels.is_empty() {
+            eprintln!("--kernels matched nothing in the suite");
+            std::process::exit(2);
+        }
+    }
     let cfg = MapConfig {
         time_limit: Duration::from_secs(if quick() { 3 } else { 15 }),
         ..MapConfig::default()
     };
-    let mappers = MapperRegistry::standard().build_all();
+    let mut mappers = MapperRegistry::standard().build_all();
+    if let Some(keep) = &opts.mappers {
+        mappers.retain(|m| keep.iter().any(|n| n == m.name()));
+        if mappers.is_empty() {
+            eprintln!("--mappers matched nothing in the registry");
+            std::process::exit(2);
+        }
+    }
     eprintln!(
         "running {} mappers x {} kernels on {} ...",
         mappers.len(),
@@ -37,10 +101,52 @@ fn main() {
     let entries = run_portfolio(&mappers, &kernels, &fabric, &cfg);
     let summary = cgra::mapper::portfolio::summarise(&entries);
 
-    println!("\nEMPIRICAL TABLE I — {} kernels on {}", kernels.len(), fabric.name);
+    if let Some(dir) = &opts.report {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("{}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        let mut written = 0usize;
+        for e in &entries {
+            let report = RunReport {
+                version: cgra::mapper::report::RUN_REPORT_VERSION,
+                instance: e.kernel.clone(),
+                arch: fabric.name.clone(),
+                mapper: e.mapper.clone(),
+                config: ConfigDigest::of(&cfg),
+                metrics: e.metrics.clone(),
+                error: e.error.clone(),
+                compile_ms: e.compile_ms,
+                snapshot: e.stats,
+                events: e.events.clone(),
+                events_dropped: e.events_dropped,
+            };
+            let path = dir.join(format!("{}.json", report.file_stem()));
+            if let Err(err) = report.save(&path) {
+                eprintln!("{}: {err}", path.display());
+                std::process::exit(1);
+            }
+            written += 1;
+        }
+        eprintln!("wrote {written} run reports to {}", dir.display());
+    }
+
+    println!(
+        "\nEMPIRICAL TABLE I — {} kernels on {}",
+        kernels.len(),
+        fabric.name
+    );
     println!(
         "{:<16} {:<28} {:>9} {:>9} {:>11} {:>10} {:>12} {:>12}",
-        "mapper", "family", "success", "mean II", "ms/kernel", "IIs tried", "placements", "backtracks"
+        "mapper",
+        "family",
+        "success",
+        "mean II",
+        "ms/kernel",
+        "IIs tried",
+        "placements",
+        "backtracks"
     );
     println!("{}", "-".repeat(116));
     let eff = |x: Option<f64>| x.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into());
@@ -51,7 +157,9 @@ fn main() {
             s.family_label,
             s.successes,
             s.attempts,
-            s.mean_ii.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+            s.mean_ii
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".into()),
             s.mean_compile_ms,
             eff(s.mean_ii_attempts),
             eff(s.mean_placements),
@@ -73,14 +181,20 @@ fn main() {
         "  heuristics faster than exact methods: {:.1} ms vs {:.1} ms -> {}",
         heuristic_ms,
         exact_ms,
-        if heuristic_ms < exact_ms { "HOLDS" } else { "VIOLATED" }
+        if heuristic_ms < exact_ms {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
-    let any_heuristic_failure = entries
-        .iter()
-        .any(|e| !e.exact && !e.succeeded());
+    let any_heuristic_failure = entries.iter().any(|e| !e.exact && !e.succeeded());
     println!(
         "  heuristic mapping may fail (survey: 'mapping might fail'): {}",
-        if any_heuristic_failure { "observed" } else { "not observed on this suite" }
+        if any_heuristic_failure {
+            "observed"
+        } else {
+            "not observed on this suite"
+        }
     );
 
     save_json("table1_entries", &entries);

@@ -5,10 +5,12 @@
 //! cgra-map <file.mc> [--kernel NAME] [--fabric RxC] [--topology mesh|meshplus|torus|onehop]
 //!          [--mapper NAME] [--race] [--parallel-ii] [--adres] [--iters N]
 //!          [--max-ii N] [--seed N] [--time-limit SECS] [--effort N] [--horizon N]
-//!          [--trace FILE] [--profile]
+//!          [--trace FILE] [--chrome-trace FILE] [--profile]
 //!          [--json] [--show-config] [--list-mappers]
 //! ```
 
+use cgra::mapper::ledger::Ledger;
+use cgra::mapper::report;
 use cgra::mapper::telemetry::{Counter, Phase, Telemetry};
 use cgra::prelude::*;
 use std::io::Write;
@@ -32,6 +34,7 @@ struct Options {
     effort: Option<u32>,
     horizon: Option<u32>,
     trace: Option<String>,
+    chrome_trace: Option<String>,
     profile: bool,
     json: bool,
     show_config: bool,
@@ -54,7 +57,8 @@ fn usage() -> &'static str {
        --time-limit SECS   wall-clock mapping budget in seconds\n\
        --effort N          mapper-specific effort knob (SA sweeps, GA generations, ...)\n\
        --horizon N         schedule-horizon cap as a multiple of the critical path\n\
-       --trace FILE        write a JSONL search trace (phase spans + counters)\n\
+       --trace FILE        write a JSONL search trace (phase spans + ledger events + counters)\n\
+       --chrome-trace FILE write a Chrome trace_event file (load in Perfetto / about:tracing)\n\
        --profile           print a search-effort profile (counters + phase times)\n\
        --json              machine-readable report\n\
        --show-config       print the configuration stream (Fig. 2c view)\n\
@@ -79,6 +83,7 @@ fn parse_args() -> Result<Options, String> {
         effort: None,
         horizon: None,
         trace: None,
+        chrome_trace: None,
         profile: false,
         json: false,
         show_config: false,
@@ -116,8 +121,7 @@ fn parse_args() -> Result<Options, String> {
             "--max-ii" => opts.max_ii = need("--max-ii")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => opts.seed = need("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--time-limit" => {
-                opts.time_limit =
-                    Some(need("--time-limit")?.parse().map_err(|e| format!("{e}"))?)
+                opts.time_limit = Some(need("--time-limit")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--effort" => {
                 opts.effort = Some(need("--effort")?.parse().map_err(|e| format!("{e}"))?)
@@ -126,6 +130,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.horizon = Some(need("--horizon")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--trace" => opts.trace = Some(need("--trace")?),
+            "--chrome-trace" => opts.chrome_trace = Some(need("--chrome-trace")?),
             "--profile" => opts.profile = true,
             "--json" => opts.json = true,
             "--show-config" => opts.show_config = true,
@@ -165,10 +170,18 @@ fn run() -> Result<(), String> {
 
     // One sink for the whole pipeline when observability is requested;
     // disabled otherwise (every telemetry call is then a null check).
-    let tele = if opts.trace.is_some() || opts.profile {
+    let observing = opts.trace.is_some() || opts.chrome_trace.is_some() || opts.profile;
+    let tele = if observing {
         Telemetry::enabled()
     } else {
         Telemetry::off()
+    };
+    // The run ledger records the race timeline and anytime incumbents;
+    // it feeds both trace outputs and is free when disabled.
+    let ledger = if observing || opts.race {
+        Ledger::enabled()
+    } else {
+        Ledger::off()
     };
 
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
@@ -203,6 +216,7 @@ fn run() -> Result<(), String> {
         effort: opts.effort.unwrap_or(defaults.effort),
         horizon_factor: opts.horizon.unwrap_or(defaults.horizon_factor),
         telemetry: tele.clone(),
+        ledger: ledger.clone(),
         ..defaults
     };
 
@@ -238,8 +252,7 @@ fn run() -> Result<(), String> {
     let compile_ms = start.elapsed().as_secs_f64() * 1e3;
     {
         let _span = tele.span(Phase::Validate);
-        validate(&mapping, &dfg, &fabric)
-            .map_err(|e| format!("INTERNAL: invalid mapping: {e}"))?;
+        validate(&mapping, &dfg, &fabric).map_err(|e| format!("INTERNAL: invalid mapping: {e}"))?;
     }
     let metrics = Metrics::of(&mapping, &dfg, &fabric);
 
@@ -263,7 +276,12 @@ fn run() -> Result<(), String> {
     let run_energy = energy.run_energy(&mapping, &dfg, &fabric, opts.iters as u64);
 
     if let Some(path) = &opts.trace {
-        write_trace(path, &tele)?;
+        write_trace(path, &tele, &ledger)?;
+    }
+    if let Some(path) = &opts.chrome_trace {
+        let trace = report::chrome_trace(&tele.spans(), &ledger.events());
+        std::fs::write(path, serde_json::to_string_pretty(&trace).unwrap())
+            .map_err(|e| format!("{path}: {e}"))?;
     }
 
     if opts.json {
@@ -386,8 +404,10 @@ fn race_failure_report(outcome: &RaceOutcome) -> String {
 }
 
 /// Emit the trace as JSON Lines: one `span` event per recorded phase
-/// span (completion order), then a single `counters` event.
-fn write_trace(path: &str, tele: &Telemetry) -> Result<(), String> {
+/// span (completion order), one line per run-ledger event (incumbents,
+/// race timeline, II probes), a single `counters` event, and a closing
+/// `meta` line accounting for anything the bounded buffers dropped.
+fn write_trace(path: &str, tele: &Telemetry, ledger: &Ledger) -> Result<(), String> {
     let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
     let mut w = std::io::BufWriter::new(f);
     let mut emit = |line: serde_json::Value| -> Result<(), String> {
@@ -402,9 +422,17 @@ fn write_trace(path: &str, tele: &Telemetry) -> Result<(), String> {
             "dur_us": s.dur_us,
         }))?;
     }
+    for e in ledger.events() {
+        emit(e.to_json())?;
+    }
     if let Some(snap) = tele.snapshot() {
         emit(serde_json::json!({ "event": "counters", "counters": snap }))?;
     }
+    emit(serde_json::json!({
+        "event": "meta",
+        "spans_dropped": tele.spans_dropped(),
+        "events_dropped": ledger.events_dropped(),
+    }))?;
     Ok(())
 }
 
@@ -422,7 +450,13 @@ fn render_profile(tele: &Telemetry) -> String {
             continue;
         }
         let total_ms = group.iter().map(|s| s.dur_us).sum::<u64>() as f64 / 1e3;
-        let _ = writeln!(out, "  {:<22} {:>10} {:>12.2}", p.label(), group.len(), total_ms);
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>10} {:>12.2}",
+            p.label(),
+            group.len(),
+            total_ms
+        );
     }
     if let Some(snap) = tele.snapshot() {
         let _ = writeln!(out, "  {:<22} {:>10}", "counter", "value");

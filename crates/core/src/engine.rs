@@ -252,6 +252,13 @@ pub fn race(
     let winner: Mutex<Option<(String, Mapping)>> = Mutex::new(None);
     let start = Instant::now();
 
+    // RaceStart events are emitted sequentially before the jobs spawn,
+    // so every later RaceWin/RaceLoss lands after its start in the
+    // ledger's claim order (ties in `t_us` resolve causally).
+    for mapper in mappers {
+        cfg.ledger.race_start(mapper.name());
+    }
+
     let entries: Vec<PortfolioEntry> = mappers
         .par_iter()
         .map(|mapper| {
@@ -268,6 +275,7 @@ pub fn race(
                 mapper.map(dfg, fabric, &job_cfg)
             };
             let compile_ms = job_start.elapsed().as_secs_f64() * 1e3;
+            let mut won = false;
             let (metrics, error) = match result {
                 Ok(m) => match validate(&m, dfg, fabric) {
                     Ok(()) => {
@@ -278,16 +286,28 @@ pub fn race(
                             if w.is_none() {
                                 *w = Some((mapper.name().to_string(), m));
                                 shared.cancel();
+                                won = true;
+                                cfg.ledger.race_win(mapper.name(), metrics.ii);
                             }
                         }
                         (Some(metrics), None)
                     }
-                    Err(e) => (None, Some(MapError::Infeasible(format!("INVALID OUTPUT: {e}")))),
+                    Err(e) => (
+                        None,
+                        Some(MapError::Infeasible(format!("INVALID OUTPUT: {e}"))),
+                    ),
                 },
                 Err(e) => (None, Some(e)),
             };
             if matches!(error, Some(MapError::Cancelled)) {
                 job_cfg.telemetry.bump(Counter::Cancellations);
+            }
+            match &error {
+                // Mapped successfully but another mapper (or a target
+                // II miss) decided the race.
+                None if !won => cfg.ledger.race_loss(mapper.name(), "beaten"),
+                Some(e) => cfg.ledger.race_loss(mapper.name(), e.kind()),
+                None => {}
             }
             PortfolioEntry {
                 mapper: mapper.name().to_string(),
@@ -300,6 +320,11 @@ pub fn race(
                 error: error.map(|e| e.to_string()),
                 compile_ms,
                 stats: job_cfg.telemetry.snapshot(),
+                // Race jobs share the caller's ledger (the race
+                // timeline lives there), so per-entry journals stay
+                // empty.
+                events: Vec::new(),
+                events_dropped: 0,
             }
         })
         .collect();
@@ -308,6 +333,9 @@ pub fn race(
         Some((name, m)) => (Some(name), Some(m)),
         None => (None, None),
     };
+    if winner.is_none() && shared.expired_now() {
+        cfg.ledger.budget_exhausted("race");
+    }
     RaceOutcome {
         winner,
         mapping,
@@ -358,17 +386,18 @@ pub fn parallel_ii(
             job_cfg.min_ii = ii;
             job_cfg.max_ii = ii;
             job_cfg.budget = budgets[j].clone();
+            cfg.ledger.ii_attempt(mapper.name(), ii);
             match mapper.map(dfg, fabric, &job_cfg) {
                 Ok(m) => {
                     if validate(&m, dfg, fabric).is_err() {
-                        return Some(MapError::Infeasible(format!(
-                            "INVALID OUTPUT at II {ii}"
-                        )));
+                        return Some(MapError::Infeasible(format!("INVALID OUTPUT at II {ii}")));
                     }
                     let mut b = best.lock().unwrap();
                     if b.as_ref().is_none_or(|(bi, _)| ii < *bi) {
                         *b = Some((ii, m));
                         best_ii.fetch_min(ii, Ordering::AcqRel);
+                        cfg.telemetry.bump(Counter::Incumbents);
+                        cfg.ledger.incumbent(mapper.name(), ii, ii as f64);
                         // Cancel every job chasing a worse II.
                         for (k, budget) in budgets.iter().enumerate() {
                             if iis[k] > ii {
@@ -391,11 +420,8 @@ pub fn parallel_ii(
     if parent.is_cancelled() {
         return Err(MapError::Cancelled);
     }
-    if errors
-        .iter()
-        .any(|e| matches!(e, Some(MapError::Timeout)))
-        || parent.expired_now()
-    {
+    if errors.iter().any(|e| matches!(e, Some(MapError::Timeout))) || parent.expired_now() {
+        cfg.ledger.budget_exhausted(mapper.name());
         return Err(MapError::Timeout);
     }
     Err(MapError::Infeasible(format!(

@@ -35,6 +35,7 @@
 
 pub mod ctrlflow;
 pub mod engine;
+pub mod ledger;
 pub mod mapper;
 pub mod mappers;
 pub mod mapping;
@@ -42,30 +43,33 @@ pub mod memmap;
 pub mod metrics;
 pub mod portfolio;
 pub mod registry;
+pub mod report;
 pub mod route;
 pub mod streaming;
 pub mod telemetry;
 pub mod validate;
 
-pub use engine::{race, parallel_ii, Budget, CancelToken, RaceOutcome};
+pub use engine::{parallel_ii, race, Budget, CancelToken, RaceOutcome};
+pub use ledger::{EventKind, Ledger, LedgerEvent, RunLedger};
 pub use mapper::{ConfigError, Family, MapConfig, MapConfigBuilder, MapError, Mapper};
 pub use mapping::{Mapping, Placement, Route};
 pub use metrics::Metrics;
 pub use registry::{MapperRegistry, MapperSpec, UnknownMapper};
+pub use report::{ConfigDigest, RunReport};
 pub use telemetry::{Counter, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry};
 pub use validate::{validate, ValidationError};
 
 /// Everything a mapper user needs.
 pub mod prelude {
-    pub use crate::engine::{race, parallel_ii, Budget, CancelToken, RaceOutcome};
-    pub use crate::mapper::{
-        ConfigError, Family, MapConfig, MapConfigBuilder, MapError, Mapper,
-    };
+    pub use crate::engine::{parallel_ii, race, Budget, CancelToken, RaceOutcome};
+    pub use crate::ledger::{EventKind, Ledger, LedgerEvent, RunLedger};
+    pub use crate::mapper::{ConfigError, Family, MapConfig, MapConfigBuilder, MapError, Mapper};
     pub use crate::mappers::*;
     pub use crate::mapping::{Mapping, Placement, Route};
     pub use crate::metrics::Metrics;
     pub use crate::portfolio::{run_portfolio, PortfolioEntry};
     pub use crate::registry::{MapperRegistry, MapperSpec, UnknownMapper};
+    pub use crate::report::{ConfigDigest, RunReport};
     pub use crate::telemetry::{Counter, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry};
     pub use crate::validate::validate;
 }

@@ -1,6 +1,7 @@
 //! The `Mapper` trait, configuration, errors, and the Table I taxonomy.
 
 use crate::engine::Budget;
+use crate::ledger::Ledger;
 use crate::mapping::Mapping;
 use crate::telemetry::Telemetry;
 use cgra_arch::Fabric;
@@ -62,6 +63,11 @@ pub struct MapConfig {
     /// enabled, mappers record counters and phase spans into it. See
     /// [`crate::telemetry`].
     pub telemetry: Telemetry,
+    /// Optional run-ledger journal. Disabled by default; when enabled,
+    /// the engine and the instrumented mappers append timestamped
+    /// events (incumbents, race outcomes, II probes) into it. See
+    /// [`crate::ledger`].
+    pub ledger: Ledger,
     /// Externally imposed budget (deadline + cancel token). Unlimited
     /// by default; mappers derive their per-run budget from it via
     /// [`MapConfig::run_budget`], so a racing engine can cancel a run
@@ -79,6 +85,7 @@ impl Default for MapConfig {
             seed: 0xC6_12A,
             effort: 100,
             telemetry: Telemetry::off(),
+            ledger: Ledger::off(),
             budget: Budget::unlimited(),
         }
     }
@@ -180,6 +187,11 @@ impl MapConfigBuilder {
 
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.cfg.telemetry = telemetry;
+        self
+    }
+
+    pub fn ledger(mut self, ledger: Ledger) -> Self {
+        self.cfg.ledger = ledger;
         self
     }
 

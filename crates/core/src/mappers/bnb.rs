@@ -12,6 +12,7 @@
 
 use super::state::SchedState;
 use crate::engine::Budget;
+use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
@@ -90,6 +91,7 @@ impl<'a> Bb<'a> {
 }
 
 impl BranchAndBound {
+    #[allow(clippy::too_many_arguments)]
     fn try_ii(
         &self,
         dfg: &Dfg,
@@ -98,8 +100,10 @@ impl BranchAndBound {
         hop: &[Vec<u32>],
         budget: &Budget,
         tele: &Telemetry,
+        ledger: &Ledger,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
+        ledger.ii_attempt("bnb", ii);
         let _span = tele.span_ii(Phase::Map, ii);
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
@@ -115,7 +119,15 @@ impl BranchAndBound {
             state: SchedState::new(dfg, fabric, ii, hop, tele.clone()),
         };
         if bb.dfs(0) {
-            bb.state.into_mapping()
+            let nodes = bb.nodes;
+            let m = bb.state.into_mapping();
+            if m.is_some() {
+                // B&B's first full schedule at this II is its (only)
+                // incumbent; the cost is the node count spent reaching it.
+                tele.bump(Counter::Incumbents);
+                ledger.incumbent("bnb", ii, nodes as f64);
+            }
+            m
         } else {
             None
         }
@@ -139,7 +151,9 @@ impl Mapper for BranchAndBound {
         let hop = fabric.hop_distance();
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+            if let Some(m) =
+                self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry, &cfg.ledger)
+            {
                 return Ok(m);
             }
             if budget.expired_now() {

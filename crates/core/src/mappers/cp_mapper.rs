@@ -9,6 +9,7 @@
 
 use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
 use crate::engine::Budget;
+use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
@@ -36,6 +37,7 @@ impl Default for CpMapper {
 }
 
 impl CpMapper {
+    #[allow(clippy::too_many_arguments)]
     fn try_ii(
         &self,
         dfg: &Dfg,
@@ -44,13 +46,15 @@ impl CpMapper {
         hop: &[Vec<u32>],
         budget: &Budget,
         tele: &Telemetry,
+        ledger: &Ledger,
     ) -> Result<Option<Mapping>, MapError> {
         tele.bump(Counter::IiAttempts);
+        ledger.ii_attempt("cp", ii);
         let _span = tele.span_ii(Phase::Map, ii);
         let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, self.position_cap);
         let mut blocked: Vec<Vec<(PeId, u32)>> = Vec::new();
 
-        for _ in 0..self.cegar_rounds.max(1) {
+        for round in 0..self.cegar_rounds.max(1) {
             if budget.expired_now() {
                 return Err(budget.error());
             }
@@ -83,21 +87,17 @@ impl CpMapper {
                         }
                     }
                 } else {
-                    model.binary_table(
-                        vars[e.src.index()],
-                        vars[e.dst.index()],
-                        move |a, b| {
-                            edge_compatible(
-                                &fabric2,
-                                &hop2,
-                                ii,
-                                src_op,
-                                dist,
-                                sp[a as usize],
-                                dp[b as usize],
-                            )
-                        },
-                    );
+                    model.binary_table(vars[e.src.index()], vars[e.dst.index()], move |a, b| {
+                        edge_compatible(
+                            &fabric2,
+                            &hop2,
+                            ii,
+                            src_op,
+                            dist,
+                            sp[a as usize],
+                            dp[b as usize],
+                        )
+                    });
                 }
             }
 
@@ -137,6 +137,10 @@ impl CpMapper {
                 CpSolution::Unsat => return Ok(None),
                 CpSolution::Unknown => return Err(budget.error()),
                 CpSolution::Sat(values) => {
+                    // Each model is an anytime incumbent placement;
+                    // cost = CEGAR rounds spent reaching it.
+                    tele.bump(Counter::Incumbents);
+                    ledger.incumbent("cp", ii, round as f64);
                     let chosen: Vec<(PeId, u32)> = values
                         .iter()
                         .enumerate()
@@ -170,7 +174,7 @@ impl Mapper for CpMapper {
         let hop = fabric.hop_distance();
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry, &cfg.ledger) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),
@@ -204,7 +208,9 @@ mod tests {
     fn cp_handles_heterogeneous_fabric() {
         let f = Fabric::adres_like(4, 4);
         let dfg = kernels::dot_product();
-        let m = CpMapper::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let m = CpMapper::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
         validate(&m, &dfg, &f).unwrap();
     }
 }

@@ -117,13 +117,9 @@ impl EdgeCentric {
                 .in_edges(n)
                 .filter(|(_, e)| e.dist == 0 && e.src != n)
                 .filter_map(|(_, e)| {
-                    state.placed(e.src).map(|p| {
-                        (
-                            e.src,
-                            p.pe,
-                            p.time + fabric.latency_of(dfg.op(e.src)),
-                        )
-                    })
+                    state
+                        .placed(e.src)
+                        .map(|p| (e.src, p.pe, p.time + fabric.latency_of(dfg.op(e.src))))
                 })
                 .collect();
             let fields: Vec<Vec<Vec<u64>>> = producers
@@ -196,7 +192,10 @@ impl Mapper for EdgeCentric {
         let hop = fabric.hop_distance();
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
+            cfg.ledger.ii_attempt("edge-centric", ii);
             if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+                cfg.telemetry.bump(Counter::Incumbents);
+                cfg.ledger.incumbent("edge-centric", ii, ii as f64);
                 return Ok(m);
             }
             if budget.expired_now() {
@@ -248,7 +247,10 @@ mod tests {
             .unwrap();
         validate(&m, &dfg, &f).unwrap();
         for (id, node) in dfg.nodes() {
-            if matches!(node.op, cgra_ir::OpKind::Input(_) | cgra_ir::OpKind::Output(_)) {
+            if matches!(
+                node.op,
+                cgra_ir::OpKind::Input(_) | cgra_ir::OpKind::Output(_)
+            ) {
                 assert!(f.is_border(m.placement(id).pe));
             }
         }

@@ -215,7 +215,10 @@ impl Mapper for EpiMap {
         let hop = fabric.hop_distance();
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
+            cfg.ledger.ii_attempt("epimap", ii);
             if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+                cfg.telemetry.bump(Counter::Incumbents);
+                cfg.ledger.incumbent("epimap", ii, ii as f64);
                 return Ok(m);
             }
             if budget.expired_now() {

@@ -10,6 +10,7 @@
 
 use super::meta_common::{eval_binding, finish_binding, legal_schedule, random_binding};
 use crate::engine::Budget;
+use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
@@ -53,6 +54,7 @@ impl Genetic {
         seed: u64,
         budget: &Budget,
         tele: &Telemetry,
+        ledger: &Ledger,
     ) -> Vec<(u64, Vec<PeId>)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = dfg.node_count();
@@ -87,11 +89,16 @@ impl Genetic {
                 if c < best_cost {
                     best_cost = c;
                     tele.bump(Counter::MovesAccepted);
+                    tele.bump(Counter::Incumbents);
+                    ledger.incumbent("ga", ii, c as f64);
                 }
             }
 
-            let mut next: Vec<Vec<PeId>> =
-                scored.iter().take(self.elitism).map(|(_, b)| b.clone()).collect();
+            let mut next: Vec<Vec<PeId>> = scored
+                .iter()
+                .take(self.elitism)
+                .map(|(_, b)| b.clone())
+                .collect();
             while next.len() < pop.len() {
                 // Tournament selection of two parents.
                 let pick = |rng: &mut StdRng| -> &Vec<PeId> {
@@ -154,6 +161,7 @@ impl Mapper for Genetic {
 
         for ii in min_ii..=max_ii {
             cfg.telemetry.bump(Counter::IiAttempts);
+            cfg.ledger.ii_attempt("ga", ii);
             let _span = cfg.telemetry.span_ii(Phase::Map, ii);
             let scored = self.evolve(
                 dfg,
@@ -163,10 +171,12 @@ impl Mapper for Genetic {
                 cfg.seed ^ ii as u64,
                 &budget,
                 &cfg.telemetry,
+                &cfg.ledger,
             );
             for (_, binding) in scored.into_iter().take(3) {
                 if let Some(times) = legal_schedule(dfg, fabric, &hop, &binding, ii) {
-                    if let Some(m) = finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
+                    if let Some(m) =
+                        finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
                     {
                         return Ok(m);
                     }
@@ -207,7 +217,9 @@ mod tests {
         // routes on a kernel with an obvious linear layout.
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
         let dfg = kernels::accumulate();
-        let m = Genetic::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let m = Genetic::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
         let met = Metrics::of(&m, &dfg, &f);
         assert!(met.route_hops <= 8, "hops {}", met.route_hops);
     }

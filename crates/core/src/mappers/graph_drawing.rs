@@ -11,6 +11,7 @@
 use super::spatial_greedy::finish_spatial;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
+use crate::telemetry::Counter;
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::graph::{asap, unit_latency};
 use cgra_ir::Dfg;
@@ -60,16 +61,15 @@ impl Mapper for GraphDrawing {
             .count()
             .max(1);
         for &id in &order {
-            y[id.index()] =
-                levels[id.index()] as f64 / max_level as f64 * (fabric.rows - 1) as f64;
+            y[id.index()] = levels[id.index()] as f64 / max_level as f64 * (fabric.rows - 1) as f64;
             let preds: Vec<f64> = dfg
                 .in_edges(id)
                 .filter(|(_, e)| e.dist == 0)
                 .map(|(_, e)| x[e.src.index()])
                 .collect();
             x[id.index()] = if preds.is_empty() {
-                let col = (source_seen as f64 + 0.5) / source_total as f64
-                    * (fabric.cols - 1) as f64;
+                let col =
+                    (source_seen as f64 + 0.5) / source_total as f64 * (fabric.cols - 1) as f64;
                 source_seen += 1;
                 col
             } else {
@@ -97,18 +97,17 @@ impl Mapper for GraphDrawing {
                     used[pe.index()] = true;
                     pes[id.index()] = pe;
                 }
-                None => {
-                    return Err(MapError::Infeasible(format!(
-                        "no free capable PE for {id}"
-                    )))
-                }
+                None => return Err(MapError::Infeasible(format!("no free capable PE for {id}"))),
             }
         }
 
         // 3. Schedule + route.
         let hop = fabric.hop_distance();
-        finish_spatial(dfg, fabric, &hop, &pes, true, &cfg.telemetry)
-            .ok_or_else(|| MapError::Infeasible("drawing legalised but unroutable".into()))
+        let m = finish_spatial(dfg, fabric, &hop, &pes, true, &cfg.telemetry)
+            .ok_or_else(|| MapError::Infeasible("drawing legalised but unroutable".into()))?;
+        cfg.telemetry.bump(Counter::Incumbents);
+        cfg.ledger.incumbent("graph-drawing", m.ii, m.ii as f64);
+        Ok(m)
     }
 }
 
@@ -142,8 +141,7 @@ mod tests {
         for dfg in [kernels::sobel(), kernels::yuv2rgb(), kernels::laplacian()] {
             match GraphDrawing.map(&dfg, &f, &MapConfig::fast()) {
                 Ok(m) => {
-                    validate_spatial(&m, &dfg, &f)
-                        .unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
+                    validate_spatial(&m, &dfg, &f).unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
                     successes += 1;
                 }
                 Err(e) => eprintln!("{}: {e}", dfg.name),

@@ -59,9 +59,7 @@ impl GraphMinor {
             if budget.expired_now() {
                 return None;
             }
-            if let Some(m) =
-                self.embed(dfg, fabric, ii, hop, &by_level, spacing, budget, tele)
-            {
+            if let Some(m) = self.embed(dfg, fabric, ii, hop, &by_level, spacing, budget, tele) {
                 return Some(m);
             }
         }
@@ -102,9 +100,7 @@ impl GraphMinor {
                     // Cheapest compatible PE w.r.t. placed producers.
                     let best = fabric
                         .pe_ids()
-                        .filter(|&pe| {
-                            fabric.supports(pe, op) && !trial_fu.contains(&(pe, slot))
-                        })
+                        .filter(|&pe| fabric.supports(pe, op) && !trial_fu.contains(&(pe, slot)))
                         .filter(|&pe| {
                             // Minor condition: slack ≥ hop distance for
                             // every placed neighbour.
@@ -114,11 +110,9 @@ impl GraphMinor {
                                 }
                                 match trial_place[e.src.index()] {
                                     Some(p) => {
-                                        let tr = p.time
-                                            + fabric.latency_of(dfg.op(e.src));
+                                        let tr = p.time + fabric.latency_of(dfg.op(e.src));
                                         let tc = t + ii * e.dist;
-                                        tc >= tr
-                                            && hop[p.pe.index()][pe.index()] <= tc - tr
+                                        tc >= tr && hop[p.pe.index()][pe.index()] <= tc - tr
                                     }
                                     None => true,
                                 }
@@ -180,7 +174,10 @@ impl Mapper for GraphMinor {
         let hop = fabric.hop_distance();
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
+            cfg.ledger.ii_attempt("graph-minor", ii);
             if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+                cfg.telemetry.bump(Counter::Incumbents);
+                cfg.ledger.incumbent("graph-minor", ii, ii as f64);
                 return Ok(m);
             }
             if budget.expired_now() {

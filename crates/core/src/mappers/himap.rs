@@ -78,12 +78,7 @@ pub(crate) fn cluster_dfg(dfg: &Dfg, max_size: usize) -> Vec<usize> {
 impl HiMap {
     /// Region centres: clusters laid out over the fabric by a
     /// cluster-level barycentric sweep.
-    fn region_centres(
-        &self,
-        dfg: &Dfg,
-        clusters: &[usize],
-        fabric: &Fabric,
-    ) -> Vec<(f64, f64)> {
+    fn region_centres(&self, dfg: &Dfg, clusters: &[usize], fabric: &Fabric) -> Vec<(f64, f64)> {
         let num_clusters = clusters.iter().copied().max().map(|m| m + 1).unwrap_or(0);
         // Cluster adjacency weights.
         let mut weight = vec![vec![0u32; num_clusters]; num_clusters];
@@ -215,6 +210,7 @@ impl Mapper for HiMap {
         // Iterate: grow the region radius, then the II — terminating
         // when a valid mapping is found.
         for ii in min_ii..=max_ii {
+            cfg.ledger.ii_attempt("himap", ii);
             let mut radius = 2;
             while radius <= max_radius {
                 if let Some(m) = self.try_ii(
@@ -228,6 +224,8 @@ impl Mapper for HiMap {
                     &budget,
                     &cfg.telemetry,
                 ) {
+                    cfg.telemetry.bump(Counter::Incumbents);
+                    cfg.ledger.incumbent("himap", ii, radius as f64);
                     return Ok(m);
                 }
                 if budget.expired_now() {

@@ -11,12 +11,13 @@
 
 use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
 use crate::engine::Budget;
+use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::Dfg;
-use cgra_solver::{Cmp, IlpModel, IlpResult, IlpVar};
+use cgra_solver::{Cmp, IlpModel, IlpResult, IlpVar, IncumbentHook};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -40,6 +41,7 @@ impl Default for IlpMapper {
 }
 
 impl IlpMapper {
+    #[allow(clippy::too_many_arguments)]
     fn try_ii(
         &self,
         dfg: &Dfg,
@@ -48,11 +50,12 @@ impl IlpMapper {
         hop: &[Vec<u32>],
         budget: &Budget,
         tele: &Telemetry,
+        ledger: &Ledger,
     ) -> Result<Option<Mapping>, MapError> {
         tele.bump(Counter::IiAttempts);
+        ledger.ii_attempt("ilp", ii);
         let _span = tele.span_ii(Phase::Map, ii);
-        let space =
-            PositionSpace::build(dfg, fabric, ii, self.window_iis, Some(self.position_cap));
+        let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, Some(self.position_cap));
         let mut blocked: Vec<Vec<(PeId, u32)>> = Vec::new();
 
         for _ in 0..self.cegar_rounds.max(1) {
@@ -126,6 +129,16 @@ impl IlpMapper {
             }
 
             model.set_interrupt(budget.interrupt());
+            // Surface the solver's anytime incumbents (improving
+            // integral solutions) straight into the run ledger.
+            {
+                let led = ledger.clone();
+                let tel = tele.clone();
+                model.set_on_incumbent(IncumbentHook::new(move |obj| {
+                    tel.bump(Counter::Incumbents);
+                    led.incumbent("ilp", ii, obj);
+                }));
+            }
             let result = model.solve_with(cgra_solver::ilp::IlpConfig {
                 time_limit: budget.remaining().unwrap_or(Duration::MAX),
                 node_limit: 4_000,
@@ -134,7 +147,9 @@ impl IlpMapper {
             let values = match result {
                 IlpResult::Optimal { values, .. } => values,
                 IlpResult::Infeasible => return Ok(None),
-                IlpResult::Budget { values: Some(v), .. } => v,
+                IlpResult::Budget {
+                    values: Some(v), ..
+                } => v,
                 IlpResult::Budget { values: None, .. } => return Err(budget.error()),
             };
             // Decode.
@@ -179,7 +194,7 @@ impl Mapper for IlpMapper {
         let hop = fabric.hop_distance();
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry, &cfg.ledger) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),
@@ -213,7 +228,9 @@ mod tests {
     fn ilp_objective_prefers_early_schedules() {
         let f = Fabric::homogeneous(3, 3, Topology::Mesh);
         let dfg = kernels::accumulate();
-        let m = IlpMapper::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let m = IlpMapper::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
         // Minimising Σt keeps the 3-op chain tight.
         assert!(m.schedule_len(&dfg, &f) <= 6);
     }

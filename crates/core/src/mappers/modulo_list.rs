@@ -136,7 +136,10 @@ impl Mapper for ModuloList {
         match self.ii_search {
             IiSearch::BottomUp => {
                 for ii in min_ii..=max_ii {
+                    cfg.ledger.ii_attempt("modulo-list", ii);
                     if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+                        cfg.telemetry.bump(Counter::Incumbents);
+                        cfg.ledger.incumbent("modulo-list", ii, ii as f64);
                         return Ok(m);
                     }
                     if budget.expired_now() {
@@ -155,8 +158,11 @@ impl Mapper for ModuloList {
                 let mut best: Option<Mapping> = None;
                 while lo <= hi {
                     let mid = lo + (hi - lo) / 2;
+                    cfg.ledger.ii_attempt("modulo-list", mid);
                     match self.try_ii(dfg, fabric, mid, &hop, &budget, &cfg.telemetry) {
                         Some(m) => {
+                            cfg.telemetry.bump(Counter::Incumbents);
+                            cfg.ledger.incumbent("modulo-list", mid, mid as f64);
                             best = Some(m);
                             if mid == 0 {
                                 break;

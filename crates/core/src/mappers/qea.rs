@@ -58,6 +58,7 @@ impl Mapper for Qea {
 
         for ii in min_ii..=max_ii {
             cfg.telemetry.bump(Counter::IiAttempts);
+            cfg.ledger.ii_attempt("qea", ii);
             let _span = cfg.telemetry.span_ii(Phase::Map, ii);
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ (ii as u64) << 7);
             // Feasible PE sets and uniform initial distributions.
@@ -71,9 +72,7 @@ impl Mapper for Qea {
                 })
                 .collect();
             if feasible.iter().any(|f| f.is_empty()) {
-                return Err(MapError::Infeasible(
-                    "an op has no capable PE".into(),
-                ));
+                return Err(MapError::Infeasible("an op has no capable PE".into()));
             }
             let mut prob: Vec<Vec<f64>> = feasible
                 .iter()
@@ -111,6 +110,8 @@ impl Mapper for Qea {
                 let improved = best.as_ref().map(|(c, _)| gen_best.0 < *c).unwrap_or(true);
                 if improved {
                     cfg.telemetry.bump(Counter::MovesAccepted);
+                    cfg.telemetry.bump(Counter::Incumbents);
+                    cfg.ledger.incumbent("qea", ii, gen_best.0 as f64);
                     best = Some(gen_best.clone());
                 }
                 // Rotate distributions towards the all-time best.
@@ -144,7 +145,8 @@ impl Mapper for Qea {
 
             if let Some((_, binding)) = best {
                 if let Some(times) = legal_schedule(dfg, fabric, &hop, &binding, ii) {
-                    if let Some(m) = finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
+                    if let Some(m) =
+                        finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
                     {
                         return Ok(m);
                     }
@@ -170,7 +172,11 @@ mod tests {
     #[test]
     fn qea_maps_small_kernels() {
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
-        for dfg in [kernels::dot_product(), kernels::accumulate(), kernels::sad()] {
+        for dfg in [
+            kernels::dot_product(),
+            kernels::accumulate(),
+            kernels::sad(),
+        ] {
             let m = Qea::default()
                 .map(&dfg, &f, &MapConfig::fast())
                 .unwrap_or_else(|e| panic!("{}: {e}", dfg.name));

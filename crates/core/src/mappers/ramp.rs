@@ -113,8 +113,7 @@ impl Ramp {
         let mut victims = Vec::new();
         for (i, p) in state.place.iter().enumerate() {
             if let Some(p) = p {
-                let same_slot_band = (band_lo..=band_hi)
-                    .any(|t| t % state.ii == p.time % state.ii);
+                let same_slot_band = (band_lo..=band_hi).any(|t| t % state.ii == p.time % state.ii);
                 if prefs.contains(&p.pe) && same_slot_band {
                     victims.push(NodeId(i as u32));
                 }
@@ -142,7 +141,10 @@ impl Mapper for Ramp {
         let hop = fabric.hop_distance();
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
+            cfg.ledger.ii_attempt("ramp", ii);
             if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+                cfg.telemetry.bump(Counter::Incumbents);
+                cfg.ledger.incumbent("ramp", ii, ii as f64);
                 return Ok(m);
             }
             if budget.expired_now() {

@@ -137,6 +137,7 @@ impl Mapper for SimulatedAnnealing {
 
         for ii in min_ii..=max_ii {
             cfg.telemetry.bump(Counter::IiAttempts);
+            cfg.ledger.ii_attempt("sa", ii);
             let _span = cfg.telemetry.span_ii(Phase::Map, ii);
             // Parallel chains; pick the champion.
             let champions: Vec<(u64, Vec<PeId>)> = (0..self.chains.max(1))
@@ -155,9 +156,17 @@ impl Mapper for SimulatedAnnealing {
                 .collect();
             let mut champs = champions;
             champs.sort_by_key(|(c, _)| *c);
+            // The chain champion is this II's anytime incumbent; record
+            // it sequentially (after collect) so same-seed runs produce
+            // identical ledgers.
+            if let Some((c, _)) = champs.first() {
+                cfg.telemetry.bump(Counter::Incumbents);
+                cfg.ledger.incumbent("sa", ii, *c as f64);
+            }
             for (_, binding) in champs.into_iter().take(2) {
                 if let Some(times) = legal_schedule(dfg, fabric, &hop, &binding, ii) {
-                    if let Some(m) = finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
+                    if let Some(m) =
+                        finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
                     {
                         return Ok(m);
                     }

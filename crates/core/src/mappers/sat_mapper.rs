@@ -11,6 +11,7 @@
 
 use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
 use crate::engine::Budget;
+use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
@@ -44,6 +45,7 @@ impl Default for SatMapper {
 }
 
 impl SatMapper {
+    #[allow(clippy::too_many_arguments)]
     fn try_ii(
         &self,
         dfg: &Dfg,
@@ -52,8 +54,10 @@ impl SatMapper {
         hop: &[Vec<u32>],
         budget: &Budget,
         tele: &Telemetry,
+        ledger: &Ledger,
     ) -> Result<Option<Mapping>, MapError> {
         tele.bump(Counter::IiAttempts);
+        ledger.ii_attempt("sat", ii);
         let _span = tele.span_ii(Phase::Map, ii);
         let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, self.position_cap);
         let mut solver = SatSolver::new();
@@ -106,7 +110,7 @@ impl SatMapper {
 
         // CEGAR: solve, route, block, repeat.
         let result: Result<Option<Mapping>, MapError> = 'cegar: {
-            for _ in 0..self.cegar_rounds.max(1) {
+            for round in 0..self.cegar_rounds.max(1) {
                 if budget.expired_now() {
                     break 'cegar Err(budget.error());
                 }
@@ -114,6 +118,10 @@ impl SatMapper {
                     SatResult::Unsat => break 'cegar Ok(None),
                     SatResult::Unknown => break 'cegar Err(budget.error()),
                     SatResult::Sat(model) => {
+                        // Each model is an anytime incumbent placement;
+                        // cost = CEGAR rounds spent reaching it.
+                        tele.bump(Counter::Incumbents);
+                        ledger.incumbent("sat", ii, round as f64);
                         let chosen: Vec<(PeId, u32)> = space
                             .positions
                             .iter()
@@ -122,9 +130,7 @@ impl SatMapper {
                                 let k = ps
                                     .iter()
                                     .enumerate()
-                                    .position(|(k, _)| {
-                                        model[vars[o][k].var().0 as usize]
-                                    })
+                                    .position(|(k, _)| model[vars[o][k].var().0 as usize])
                                     .expect("exactly-one guarantees a choice");
                                 ps[k]
                             })
@@ -170,7 +176,7 @@ impl Mapper for SatMapper {
         let hop = fabric.hop_distance();
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry, &cfg.ledger) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),
@@ -235,7 +241,13 @@ mod tests {
         // II=2. Either is acceptable; anything larger is a regression.
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
         let dfg = kernels::dot_product();
-        let m = SatMapper::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
-        assert!(m.ii <= 2, "II {} too large for the dot product on 4x4", m.ii);
+        let m = SatMapper::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
+        assert!(
+            m.ii <= 2,
+            "II {} too large for the dot product on 4x4",
+            m.ii
+        );
     }
 }

@@ -15,6 +15,7 @@
 
 use super::exact_common::add_solver_stats;
 use crate::engine::Budget;
+use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::route::route_all_with;
@@ -38,6 +39,7 @@ impl Default for SmtMapper {
 }
 
 impl SmtMapper {
+    #[allow(clippy::too_many_arguments)]
     fn try_horizon(
         &self,
         dfg: &Dfg,
@@ -46,8 +48,10 @@ impl SmtMapper {
         hop: &[Vec<u32>],
         budget: &Budget,
         tele: &Telemetry,
+        ledger: &Ledger,
     ) -> Result<Option<Mapping>, MapError> {
         tele.bump(Counter::IiAttempts);
+        ledger.ii_attempt("smt", horizon);
         let _span = tele.span_ii(Phase::Map, horizon);
         let n = dfg.node_count();
         // Theory vars: one time per op, plus a zero reference.
@@ -130,12 +134,7 @@ impl SmtMapper {
                 let lt = smt.diff_le(a, b, -1);
                 let gt = smt.diff_le(b, a, -1);
                 for (i, _) in pes.iter().enumerate() {
-                    smt.add_clause(&[
-                        sel[a][i].negate(),
-                        sel[b][i].negate(),
-                        lt,
-                        gt,
-                    ]);
+                    smt.add_clause(&[sel[a][i].negate(), sel[b][i].negate(), lt, gt]);
                 }
             }
         }
@@ -151,6 +150,10 @@ impl SmtMapper {
             SmtResult::Unsat => Ok(None),
             SmtResult::Unknown => Err(budget.error()),
             SmtResult::Sat { model, values } => {
+                // The theory model is this horizon's incumbent
+                // schedule; cost = the horizon probed.
+                tele.bump(Counter::Incumbents);
+                ledger.incumbent("smt", horizon, horizon as f64);
                 // Decode binding and times (normalise to t_zero).
                 let t0 = values[zero];
                 let mut chosen = Vec::with_capacity(n);
@@ -198,7 +201,7 @@ impl Mapper for SmtMapper {
         let mut horizon = cp.max(cfg.min_ii);
         for _ in 0..self.max_probes.max(1) {
             let h = horizon.min(fabric.context_depth);
-            match self.try_horizon(dfg, fabric, h, &hop, &budget, &cfg.telemetry) {
+            match self.try_horizon(dfg, fabric, h, &hop, &budget, &cfg.telemetry, &cfg.ledger) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),
@@ -225,7 +228,11 @@ mod tests {
     #[test]
     fn smt_maps_tiny_kernels() {
         let f = Fabric::homogeneous(3, 3, Topology::Mesh);
-        for dfg in [kernels::dot_product(), kernels::accumulate(), kernels::threshold()] {
+        for dfg in [
+            kernels::dot_product(),
+            kernels::accumulate(),
+            kernels::threshold(),
+        ] {
             let m = SmtMapper::default()
                 .map(&dfg, &f, &MapConfig::fast())
                 .unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
@@ -237,7 +244,9 @@ mod tests {
     fn smt_mapping_is_non_modulo() {
         let f = Fabric::homogeneous(3, 3, Topology::Mesh);
         let dfg = kernels::dot_product();
-        let m = SmtMapper::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let m = SmtMapper::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
         // The II equals the probed horizon: each op's slot is unique.
         let mut slots = std::collections::HashSet::new();
         for p in &m.place {

@@ -9,7 +9,7 @@
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::{Mapping, Placement};
 use crate::route::route_all_with;
-use crate::telemetry::Telemetry;
+use crate::telemetry::{Counter, Telemetry};
 use cgra_arch::{Fabric, PeId};
 use cgra_ir::{Dfg, NodeId};
 
@@ -136,26 +136,22 @@ impl Mapper for SpatialGreedy {
                     used[pe.index()] = true;
                     pes[n.index()] = Some(pe);
                 }
-                None => {
-                    return Err(MapError::Infeasible(format!(
-                        "no free capable PE for {n}"
-                    )))
-                }
+                None => return Err(MapError::Infeasible(format!("no free capable PE for {n}"))),
             }
         }
         let pes: Vec<PeId> = pes.into_iter().map(|p| p.unwrap()).collect();
-        finish_spatial(dfg, fabric, &hop, &pes, !self.plain_routing, &cfg.telemetry).ok_or_else(
-            || MapError::Infeasible("binding found but routing failed".into()),
-        )
+        let m = finish_spatial(dfg, fabric, &hop, &pes, !self.plain_routing, &cfg.telemetry)
+            .ok_or_else(|| MapError::Infeasible("binding found but routing failed".into()))?;
+        cfg.telemetry.bump(Counter::Incumbents);
+        cfg.ledger.incumbent("spatial-greedy", m.ii, m.ii as f64);
+        Ok(m)
     }
 }
 
 /// Expose a helper for tests and other mappers: all input nodes.
 #[allow(dead_code)]
 pub(crate) fn source_nodes(dfg: &Dfg) -> Vec<NodeId> {
-    dfg.node_ids()
-        .filter(|&n| dfg.op(n).is_source())
-        .collect()
+    dfg.node_ids().filter(|&n| dfg.op(n).is_source()).collect()
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! The mapper portfolio: run many mappers over many kernels (in
 //! parallel) and collect the rows of the Table I experiment.
 
+use crate::ledger::{Ledger, LedgerEvent};
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::metrics::Metrics;
 use crate::telemetry::{StatsSnapshot, Telemetry};
@@ -33,6 +34,13 @@ pub struct PortfolioEntry {
     /// (present for both successes and failures).
     #[serde(default)]
     pub stats: Option<StatsSnapshot>,
+    /// Run-ledger events recorded by a per-job journal (incumbents and
+    /// II probes; empty when the job shared an engine-level ledger).
+    #[serde(default)]
+    pub events: Vec<LedgerEvent>,
+    /// Events lost to the journal's bounded capacity.
+    #[serde(default)]
+    pub events_dropped: u64,
 }
 
 impl PortfolioEntry {
@@ -62,6 +70,7 @@ pub fn run_portfolio(
             // to a single (mapper, kernel) pair even under rayon.
             let mut job_cfg = cfg.clone();
             job_cfg.telemetry = Telemetry::enabled();
+            job_cfg.ledger = Ledger::enabled();
             let start = Instant::now();
             let result = mapper.map(kernel, fabric, &job_cfg);
             let compile_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -86,6 +95,8 @@ pub fn run_portfolio(
                 error_detail,
                 compile_ms,
                 stats: job_cfg.telemetry.snapshot(),
+                events: job_cfg.ledger.events(),
+                events_dropped: job_cfg.ledger.events_dropped(),
             }
         })
         .collect()
@@ -169,12 +180,9 @@ pub fn summarise(entries: &[PortfolioEntry]) -> Vec<MapperSummary> {
         .into_iter()
         .zip(accs)
         .map(|(name, acc)| {
-            let per_success = |sum: f64| {
-                (acc.successes > 0).then(|| sum / acc.successes as f64)
-            };
-            let per_stats_run = |sum: f64| {
-                (acc.stats_runs > 0).then(|| sum / acc.stats_runs as f64)
-            };
+            let per_success = |sum: f64| (acc.successes > 0).then(|| sum / acc.successes as f64);
+            let per_stats_run =
+                |sum: f64| (acc.stats_runs > 0).then(|| sum / acc.stats_runs as f64);
             MapperSummary {
                 mapper: name.to_string(),
                 family_label: acc.family_label.clone(),

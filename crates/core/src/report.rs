@@ -1,0 +1,473 @@
+//! The versioned `RunReport` artifact and its renderings.
+//!
+//! One [`RunReport`] captures everything needed to replay a mapping
+//! run offline: the instance and architecture, a digest of the
+//! [`MapConfig`], the final metrics (or typed failure), the counter
+//! snapshot, and the run-ledger event timeline. Reports round-trip
+//! through JSON files — written by `cgra-map`, `table1 --report`, and
+//! loaded back by `cgra-report` for convergence tables and the
+//! regression gate — and render as Chrome `trace_event` JSON
+//! ([`chrome_trace`]) loadable in `chrome://tracing` / Perfetto.
+//!
+//! Loading hand-parses `serde_json::Value` (the vendored serde has no
+//! typed deserialisation); unknown fields are ignored and missing
+//! optional fields default, so version-1 readers tolerate later
+//! additive changes.
+
+use crate::ledger::LedgerEvent;
+use crate::mapper::MapConfig;
+use crate::metrics::Metrics;
+use crate::telemetry::{SpanRecord, StatsSnapshot};
+use serde::{Serialize, Value};
+use std::path::Path;
+
+/// Format version written into every report; bump on breaking changes.
+pub const RUN_REPORT_VERSION: u32 = 1;
+
+/// The reproducibility-relevant subset of [`MapConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ConfigDigest {
+    pub max_ii: u32,
+    pub min_ii: u32,
+    pub horizon_factor: u32,
+    pub time_limit_ms: u64,
+    pub seed: u64,
+    pub effort: u32,
+}
+
+impl ConfigDigest {
+    pub fn of(cfg: &MapConfig) -> ConfigDigest {
+        ConfigDigest {
+            max_ii: cfg.max_ii,
+            min_ii: cfg.min_ii,
+            horizon_factor: cfg.horizon_factor,
+            time_limit_ms: cfg.time_limit.as_millis() as u64,
+            seed: cfg.seed,
+            effort: cfg.effort,
+        }
+    }
+
+    fn from_json(v: &Value) -> ConfigDigest {
+        let g = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+        ConfigDigest {
+            max_ii: g("max_ii") as u32,
+            min_ii: g("min_ii") as u32,
+            horizon_factor: g("horizon_factor") as u32,
+            time_limit_ms: g("time_limit_ms"),
+            seed: g("seed"),
+            effort: g("effort") as u32,
+        }
+    }
+}
+
+/// One mapping run, replayable offline.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    pub version: u32,
+    /// Kernel name.
+    pub instance: String,
+    /// Fabric name ("4x4 mesh", "4x4 adres", …).
+    pub arch: String,
+    pub mapper: String,
+    pub config: ConfigDigest,
+    /// Final metrics on success, `None` on failure.
+    pub metrics: Option<Metrics>,
+    /// Human-readable failure, `None` on success.
+    pub error: Option<String>,
+    pub compile_ms: f64,
+    /// Search-effort counters (when telemetry was enabled).
+    pub snapshot: Option<StatsSnapshot>,
+    /// The run-ledger timeline, sorted by `t_us`.
+    pub events: Vec<LedgerEvent>,
+    /// Ledger events lost to journal overflow.
+    pub events_dropped: u64,
+}
+
+impl RunReport {
+    pub fn succeeded(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// The achieved II, on success.
+    pub fn ii(&self) -> Option<u32> {
+        self.metrics.as_ref().map(|m| m.ii)
+    }
+
+    /// A filename-safe `instance__arch__mapper.json` stem unique per
+    /// report key.
+    pub fn file_stem(&self) -> String {
+        let clean = |s: &str| {
+            s.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                .collect::<String>()
+        };
+        format!(
+            "{}__{}__{}",
+            clean(&self.instance),
+            clean(&self.arch),
+            clean(&self.mapper)
+        )
+    }
+
+    /// Write the report as pretty JSON.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(self).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Read one report back. `Err` on unreadable files or on a version
+    /// this reader does not understand.
+    pub fn load(path: &Path) -> Result<RunReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let v = serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        RunReport::from_json(&v).ok_or_else(|| {
+            format!(
+                "{}: not a RunReport (missing or unsupported fields)",
+                path.display()
+            )
+        })
+    }
+
+    /// Load every `*.json` RunReport in `dir`, sorted by file name.
+    /// Non-report JSON files are skipped silently so a results
+    /// directory can mix artifacts.
+    pub fn load_dir(dir: &Path) -> Result<Vec<RunReport>, String> {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        let mut reports = Vec::new();
+        for p in paths {
+            let Ok(text) = std::fs::read_to_string(&p) else {
+                continue;
+            };
+            if let Ok(v) = serde_json::from_str(&text) {
+                if let Some(r) = RunReport::from_json(&v) {
+                    reports.push(r);
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Hand-parse a report from its JSON tree.
+    pub fn from_json(v: &Value) -> Option<RunReport> {
+        let version = v.get("version")?.as_u64()? as u32;
+        if version == 0 || version > RUN_REPORT_VERSION {
+            return None;
+        }
+        let s = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+        let events = match v.get("events") {
+            Some(Value::Array(items)) => items.iter().filter_map(LedgerEvent::from_json).collect(),
+            _ => Vec::new(),
+        };
+        Some(RunReport {
+            version,
+            instance: s("instance")?,
+            arch: s("arch")?,
+            mapper: s("mapper")?,
+            config: v
+                .get("config")
+                .map(ConfigDigest::from_json)
+                .unwrap_or_else(|| ConfigDigest::of(&MapConfig::default())),
+            metrics: v.get("metrics").and_then(metrics_from_json),
+            error: s("error"),
+            compile_ms: v.get("compile_ms").and_then(Value::as_f64).unwrap_or(0.0),
+            snapshot: v.get("snapshot").and_then(snapshot_from_json),
+            events,
+            events_dropped: v.get("events_dropped").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+fn metrics_from_json(v: &Value) -> Option<Metrics> {
+    Some(Metrics {
+        ii: v.get("ii")?.as_u64()? as u32,
+        schedule_len: v.get("schedule_len").and_then(Value::as_u64).unwrap_or(0) as u32,
+        fu_utilisation: v
+            .get("fu_utilisation")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0),
+        route_hops: v.get("route_hops").and_then(Value::as_u64).unwrap_or(0) as usize,
+        register_cycles: v
+            .get("register_cycles")
+            .and_then(Value::as_u64)
+            .unwrap_or(0) as usize,
+        peak_registers: v.get("peak_registers").and_then(Value::as_u64).unwrap_or(0) as u32,
+        throughput: v.get("throughput").and_then(Value::as_f64).unwrap_or(0.0),
+    })
+}
+
+fn snapshot_from_json(v: &Value) -> Option<StatsSnapshot> {
+    if !matches!(v, Value::Object(_)) {
+        return None;
+    }
+    let g = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    Some(StatsSnapshot {
+        ii_attempts: g("ii_attempts"),
+        placements_tried: g("placements_tried"),
+        backtracks: g("backtracks"),
+        routing_calls: g("routing_calls"),
+        routing_failures: g("routing_failures"),
+        moves_proposed: g("moves_proposed"),
+        moves_accepted: g("moves_accepted"),
+        nodes_expanded: g("nodes_expanded"),
+        nodes_pruned: g("nodes_pruned"),
+        solver_decisions: g("solver_decisions"),
+        solver_propagations: g("solver_propagations"),
+        solver_conflicts: g("solver_conflicts"),
+        solver_restarts: g("solver_restarts"),
+        cancellations: g("cancellations"),
+        incumbents: g("incumbents"),
+    })
+}
+
+/// Render phase spans plus ledger events as Chrome `trace_event` JSON
+/// (the object form: `{"traceEvents":[…]}`), loadable in
+/// `chrome://tracing` and Perfetto.
+///
+/// Track layout: tid 0 is the pipeline (one complete event per phase
+/// span); each mapper appearing in the ledger gets its own tid, named
+/// via `thread_name` metadata. `RaceStart`…`RaceWin`/`RaceLoss` pairs
+/// become complete ("X") events spanning the mapper's racing window;
+/// incumbents and II probes become instant ("i") events on the
+/// mapper's track.
+pub fn chrome_trace(spans: &[SpanRecord], events: &[LedgerEvent]) -> Value {
+    let mut out: Vec<Value> = Vec::new();
+    let pid = 1u64;
+
+    out.push(serde_json::json!({
+        "ph": "M", "name": "process_name", "pid": pid,
+        "args": serde_json::json!({"name": "cgra-map"}),
+    }));
+    out.push(serde_json::json!({
+        "ph": "M", "name": "thread_name", "pid": pid, "tid": 0,
+        "args": serde_json::json!({"name": "pipeline"}),
+    }));
+    for s in spans {
+        let name = match s.ii {
+            Some(ii) => format!("{} ii={ii}", s.phase.label()),
+            None => s.phase.label().to_string(),
+        };
+        out.push(serde_json::json!({
+            "ph": "X", "name": name, "cat": "phase", "pid": pid, "tid": 0,
+            "ts": s.start_us, "dur": s.dur_us,
+        }));
+    }
+
+    // One track per mapper, in first-appearance order.
+    let mut mappers: Vec<&str> = Vec::new();
+    for e in events {
+        if !mappers.contains(&e.kind.mapper()) {
+            mappers.push(e.kind.mapper());
+        }
+    }
+    let tid_of =
+        |mapper: &str| -> u64 { mappers.iter().position(|m| *m == mapper).unwrap_or(0) as u64 + 1 };
+    for m in &mappers {
+        out.push(serde_json::json!({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid_of(m),
+            "args": serde_json::json!({"name": *m}),
+        }));
+    }
+
+    let last_t = events.last().map(|e| e.t_us).unwrap_or(0);
+    for (i, e) in events.iter().enumerate() {
+        let tid = tid_of(e.kind.mapper());
+        match &e.kind {
+            crate::ledger::EventKind::RaceStart { mapper } => {
+                // Span until this mapper's win/loss (or the last event).
+                let end = events[i + 1..]
+                    .iter()
+                    .find(|later| {
+                        later.kind.mapper() == mapper
+                            && matches!(
+                                later.kind,
+                                crate::ledger::EventKind::RaceWin { .. }
+                                    | crate::ledger::EventKind::RaceLoss { .. }
+                            )
+                    })
+                    .map(|later| later.t_us)
+                    .unwrap_or(last_t);
+                let outcome = events[i + 1..]
+                    .iter()
+                    .find_map(|later| match &later.kind {
+                        crate::ledger::EventKind::RaceWin { mapper: m, .. } if m == mapper => {
+                            Some("win")
+                        }
+                        crate::ledger::EventKind::RaceLoss { mapper: m, .. } if m == mapper => {
+                            Some("loss")
+                        }
+                        _ => None,
+                    })
+                    .unwrap_or("unresolved");
+                out.push(serde_json::json!({
+                    "ph": "X", "name": format!("race: {mapper}"), "cat": "race",
+                    "pid": pid, "tid": tid,
+                    "ts": e.t_us, "dur": end.saturating_sub(e.t_us).max(1),
+                    "args": serde_json::json!({"outcome": outcome}),
+                }));
+            }
+            crate::ledger::EventKind::Incumbent { ii, cost, .. } => {
+                out.push(serde_json::json!({
+                    "ph": "i", "s": "t", "name": format!("incumbent ii={ii}"),
+                    "cat": "incumbent", "pid": pid, "tid": tid, "ts": e.t_us,
+                    "args": serde_json::json!({"ii": *ii, "cost": *cost}),
+                }));
+            }
+            crate::ledger::EventKind::RaceWin { ii, .. } => {
+                out.push(serde_json::json!({
+                    "ph": "i", "s": "g", "name": format!("race win ii={ii}"),
+                    "cat": "race", "pid": pid, "tid": tid, "ts": e.t_us,
+                    "args": serde_json::json!({"ii": *ii}),
+                }));
+            }
+            crate::ledger::EventKind::RaceLoss { reason, .. } => {
+                out.push(serde_json::json!({
+                    "ph": "i", "s": "t", "name": "race loss",
+                    "cat": "race", "pid": pid, "tid": tid, "ts": e.t_us,
+                    "args": serde_json::json!({"reason": reason.clone()}),
+                }));
+            }
+            crate::ledger::EventKind::BudgetExhausted { .. } => {
+                out.push(serde_json::json!({
+                    "ph": "i", "s": "t", "name": "budget exhausted",
+                    "cat": "budget", "pid": pid, "tid": tid, "ts": e.t_us,
+                }));
+            }
+            crate::ledger::EventKind::IiAttempt { ii, .. } => {
+                out.push(serde_json::json!({
+                    "ph": "i", "s": "t", "name": format!("try ii={ii}"),
+                    "cat": "ii", "pid": pid, "tid": tid, "ts": e.t_us,
+                    "args": serde_json::json!({"ii": *ii}),
+                }));
+            }
+        }
+    }
+
+    serde_json::json!({
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::Ledger;
+    use crate::telemetry::{Phase, Telemetry};
+
+    fn sample_report() -> RunReport {
+        let ledger = Ledger::enabled();
+        ledger.race_start("sa");
+        ledger.incumbent("sa", 2, 10.0);
+        ledger.race_win("sa", 2);
+        RunReport {
+            version: RUN_REPORT_VERSION,
+            instance: "dot_product".into(),
+            arch: "4x4 mesh".into(),
+            mapper: "sa".into(),
+            config: ConfigDigest::of(&MapConfig::fast()),
+            metrics: Some(Metrics {
+                ii: 2,
+                schedule_len: 6,
+                fu_utilisation: 0.5,
+                route_hops: 7,
+                register_cycles: 9,
+                peak_registers: 2,
+                throughput: 0.5,
+            }),
+            error: None,
+            compile_ms: 12.5,
+            snapshot: Some(StatsSnapshot {
+                ii_attempts: 2,
+                incumbents: 1,
+                ..StatsSnapshot::default()
+            }),
+            events: ledger.events(),
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        let v = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        let back = RunReport::from_json(&v).expect("parses");
+        assert_eq!(back.instance, r.instance);
+        assert_eq!(back.arch, r.arch);
+        assert_eq!(back.mapper, r.mapper);
+        assert_eq!(back.config, r.config);
+        assert_eq!(back.ii(), Some(2));
+        assert_eq!(back.compile_ms, r.compile_ms);
+        assert_eq!(back.snapshot.unwrap(), r.snapshot.unwrap());
+        assert_eq!(back.events, r.events);
+        assert!(back.succeeded());
+    }
+
+    #[test]
+    fn save_load_dir_skips_foreign_json() {
+        let dir = std::env::temp_dir().join("cgra-report-tests");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let r = sample_report();
+        r.save(&dir.join(format!("{}.json", r.file_stem())))
+            .unwrap();
+        std::fs::write(dir.join("other.json"), "{\"not\": \"a report\"}").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let loaded = RunReport::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].mapper, "sa");
+        let one = RunReport::load(&dir.join(format!("{}.json", r.file_stem()))).unwrap();
+        assert_eq!(one.instance, "dot_product");
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut r = sample_report();
+        r.version = RUN_REPORT_VERSION + 1;
+        let v = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert!(RunReport::from_json(&v).is_none());
+    }
+
+    #[test]
+    fn chrome_trace_has_a_track_per_mapper_and_instants() {
+        let tele = Telemetry::enabled();
+        {
+            let _g = tele.span(Phase::Parse);
+        }
+        let ledger = Ledger::enabled();
+        ledger.race_start("sa");
+        ledger.race_start("ilp");
+        ledger.incumbent("sa", 2, 10.0);
+        ledger.race_win("sa", 2);
+        ledger.race_loss("ilp", "cancelled");
+        let trace = chrome_trace(&tele.spans(), &ledger.events());
+        let events = trace.get("traceEvents").unwrap().as_array().unwrap();
+        // Named tracks: pipeline + sa + ilp (plus the process name).
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e["ph"] == "M" && e["name"] == "thread_name")
+            .map(|e| e["args"]["name"].as_str().unwrap())
+            .collect();
+        assert_eq!(names, vec!["pipeline", "sa", "ilp"]);
+        // One complete event per racing mapper, with its outcome.
+        let races: Vec<&Value> = events
+            .iter()
+            .filter(|e| e["ph"] == "X" && e["cat"] == "race")
+            .collect();
+        assert_eq!(races.len(), 2);
+        assert_eq!(races[0]["args"]["outcome"], "win");
+        assert_eq!(races[1]["args"]["outcome"], "loss");
+        // The incumbent appears as an instant event on sa's track.
+        let inc = events
+            .iter()
+            .find(|e| e["ph"] == "i" && e["cat"] == "incumbent")
+            .expect("incumbent instant");
+        assert_eq!(inc["tid"], races[0]["tid"]);
+        // Every event carries the same pid (one process).
+        assert!(events.iter().all(|e| e["pid"] == 1u64));
+    }
+}

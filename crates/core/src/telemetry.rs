@@ -28,6 +28,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+// The run-ledger event journal is the telemetry subsystem's second
+// sink (counters say "how much", the ledger says "when"); re-exported
+// here so both are reachable from one module.
+pub use crate::ledger::{EventKind, Ledger, LedgerEvent, RunLedger};
+
 /// Search-effort counters, one per Table I search behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[repr(usize)]
@@ -61,11 +66,16 @@ pub enum Counter {
     /// Runs stopped by a budget cancellation (portfolio race losers,
     /// parallel-II jobs dominated by a better II).
     Cancellations,
+    /// Improving solutions found (anytime incumbents: routable
+    /// bindings, solver models, better objective values). Mirrors the
+    /// ledger's `Incumbent` events so profile output shows how often
+    /// each mapper improved.
+    Incumbents,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 15] = [
         Counter::IiAttempts,
         Counter::PlacementsTried,
         Counter::Backtracks,
@@ -80,6 +90,7 @@ impl Counter {
         Counter::SolverConflicts,
         Counter::SolverRestarts,
         Counter::Cancellations,
+        Counter::Incumbents,
     ];
 
     /// Snake-case name used in traces and reports.
@@ -99,6 +110,7 @@ impl Counter {
             Counter::SolverConflicts => "solver_conflicts",
             Counter::SolverRestarts => "solver_restarts",
             Counter::Cancellations => "cancellations",
+            Counter::Incumbents => "incumbents",
         }
     }
 }
@@ -239,6 +251,7 @@ impl SearchStats {
             solver_conflicts: self.get(Counter::SolverConflicts),
             solver_restarts: self.get(Counter::SolverRestarts),
             cancellations: self.get(Counter::Cancellations),
+            incumbents: self.get(Counter::Incumbents),
         }
     }
 }
@@ -270,6 +283,8 @@ pub struct StatsSnapshot {
     pub solver_conflicts: u64,
     pub solver_restarts: u64,
     pub cancellations: u64,
+    #[serde(default)]
+    pub incumbents: u64,
 }
 
 impl StatsSnapshot {
@@ -289,6 +304,7 @@ impl StatsSnapshot {
             Counter::SolverConflicts => self.solver_conflicts,
             Counter::SolverRestarts => self.solver_restarts,
             Counter::Cancellations => self.cancellations,
+            Counter::Incumbents => self.incumbents,
         }
     }
 
@@ -374,6 +390,12 @@ impl Telemetry {
     /// Recorded spans (empty when disabled).
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.0.as_ref().map(|s| s.spans()).unwrap_or_default()
+    }
+
+    /// Spans discarded once the log hit its capacity (zero when
+    /// disabled). Trace consumers use this to detect truncation.
+    pub fn spans_dropped(&self) -> u64 {
+        self.0.as_ref().map(|s| s.spans_dropped()).unwrap_or(0)
     }
 }
 

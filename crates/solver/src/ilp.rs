@@ -41,6 +41,37 @@ pub struct IlpModel {
     /// Cooperative stop signal, polled once per branch-and-bound node.
     /// Inert by default; solves return `Budget` when it fires.
     interrupt: crate::interrupt::Interrupt,
+    /// Anytime-incumbent callback, fired with the objective each time
+    /// the search improves its best integral solution.
+    on_incumbent: IncumbentHook,
+}
+
+/// An optional observer for anytime incumbents, shareable across model
+/// clones. Wrapped so [`IlpModel`] can keep deriving `Clone` and
+/// `Debug` without the closure getting in the way.
+#[derive(Clone, Default)]
+pub struct IncumbentHook(Option<std::sync::Arc<dyn Fn(f64) + Send + Sync>>);
+
+impl IncumbentHook {
+    pub fn new(f: impl Fn(f64) + Send + Sync + 'static) -> Self {
+        IncumbentHook(Some(std::sync::Arc::new(f)))
+    }
+
+    fn fire(&self, objective: f64) {
+        if let Some(f) = &self.0 {
+            f(objective);
+        }
+    }
+}
+
+impl std::fmt::Debug for IncumbentHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "IncumbentHook(set)"
+        } else {
+            "IncumbentHook(none)"
+        })
+    }
 }
 
 /// Solve outcome.
@@ -84,12 +115,20 @@ impl IlpModel {
             maximize,
             stats: IlpStats::default(),
             interrupt: crate::interrupt::Interrupt::none(),
+            on_incumbent: IncumbentHook::default(),
         }
     }
 
     /// Install a cooperative stop signal checked at every B&B node.
     pub fn set_interrupt(&mut self, interrupt: crate::interrupt::Interrupt) {
         self.interrupt = interrupt;
+    }
+
+    /// Install an anytime-incumbent observer, called with the objective
+    /// whenever the branch-and-bound search improves its best integral
+    /// solution.
+    pub fn set_on_incumbent(&mut self, hook: IncumbentHook) {
+        self.on_incumbent = hook;
     }
 
     /// Cumulative search-effort counters: decisions are branch-and-bound
@@ -117,11 +156,8 @@ impl IlpModel {
 
     /// Add `sum coeffs·x  cmp  rhs`.
     pub fn add_constraint(&mut self, coeffs: &[(IlpVar, f64)], cmp: Cmp, rhs: f64) {
-        self.constraints.push((
-            coeffs.iter().map(|&(v, c)| (v.0, c)).collect(),
-            cmp,
-            rhs,
-        ));
+        self.constraints
+            .push((coeffs.iter().map(|&(v, c)| (v.0, c)).collect(), cmp, rhs));
     }
 
     /// `sum vars == 1` (the ubiquitous assignment constraint).
@@ -171,7 +207,13 @@ impl IlpModel {
         let start = Instant::now();
         let mut nodes: u64 = 0;
         let mut incumbent: Option<(Vec<bool>, f64)> = None;
-        let better = |a: f64, b: f64| if self.maximize { a > b + INT_EPS } else { a < b - INT_EPS };
+        let better = |a: f64, b: f64| {
+            if self.maximize {
+                a > b + INT_EPS
+            } else {
+                a < b - INT_EPS
+            }
+        };
 
         // DFS stack of partial fixings.
         let mut stack: Vec<Vec<Option<bool>>> = vec![vec![None; self.num_vars]];
@@ -235,6 +277,7 @@ impl IlpModel {
                         .unwrap_or(true);
                     if take {
                         incumbent = Some((values, obj));
+                        self.on_incumbent.fire(obj);
                     }
                 }
                 Some((v, _)) => {

@@ -99,11 +99,14 @@ fn trace_is_line_delimited_json_with_all_phases() {
     let body = std::fs::read_to_string(&trace).unwrap();
     let mut phases = std::collections::HashSet::new();
     let mut counters_lines = 0;
+    let mut meta_lines = 0;
+    let mut ledger_lines = 0;
     for line in body.lines() {
         let v: serde_json::Value = serde_json::from_str(line)
             .unwrap_or_else(|e| panic!("invalid JSON line `{line}`: {e}"));
         match v["event"].as_str().unwrap() {
             "span" => {
+                assert_eq!(meta_lines, 0, "span after the trailing meta line");
                 phases.insert(v["phase"].as_str().unwrap().to_string());
                 assert!(v["dur_us"].as_u64().is_some(), "{line}");
             }
@@ -112,6 +115,17 @@ fn trace_is_line_delimited_json_with_all_phases() {
                 assert!(v["counters"]["ii_attempts"].as_u64().unwrap() >= 1);
                 assert!(v["counters"]["placements_tried"].as_u64().unwrap() >= 1);
             }
+            "meta" => {
+                meta_lines += 1;
+                assert!(v["spans_dropped"].as_u64().is_some(), "{line}");
+                assert!(v["events_dropped"].as_u64().is_some(), "{line}");
+            }
+            // Run-ledger events interleave with the spans.
+            "ii_attempt" | "incumbent" | "race_start" | "race_win" | "race_loss"
+            | "budget_exhausted" => {
+                ledger_lines += 1;
+                assert!(v["t_us"].as_u64().is_some(), "{line}");
+            }
             other => panic!("unexpected event `{other}`"),
         }
     }
@@ -119,6 +133,12 @@ fn trace_is_line_delimited_json_with_all_phases() {
         assert!(phases.contains(p), "phase `{p}` missing from trace:\n{body}");
     }
     assert_eq!(counters_lines, 1, "exactly one counters line expected");
+    assert_eq!(meta_lines, 1, "exactly one meta line expected");
+    assert!(ledger_lines >= 1, "ledger events missing from trace:\n{body}");
+    assert!(
+        body.lines().last().unwrap().contains("\"meta\""),
+        "meta must be the final line"
+    );
 }
 
 #[test]
