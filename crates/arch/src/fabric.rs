@@ -271,15 +271,15 @@ impl Fabric {
     pub fn hop_distance(&self) -> Vec<Vec<u32>> {
         let n = self.num_pes();
         let mut dist = vec![vec![u32::MAX; n]; n];
-        for s in 0..n {
+        for (s, row) in dist.iter_mut().enumerate() {
             let mut q = std::collections::VecDeque::new();
-            dist[s][s] = 0;
+            row[s] = 0;
             q.push_back(PeId(s as u16));
             while let Some(p) = q.pop_front() {
-                let d = dist[s][p.index()];
+                let d = row[p.index()];
                 for nb in self.neighbors(p) {
-                    if dist[s][nb.index()] == u32::MAX {
-                        dist[s][nb.index()] = d + 1;
+                    if row[nb.index()] == u32::MAX {
+                        row[nb.index()] = d + 1;
                         q.push_back(nb);
                     }
                 }
@@ -306,9 +306,7 @@ impl Fabric {
             if c.mem {
                 mem += 1;
             }
-            if c.io
-                && (self.io_policy == IoPolicy::Anywhere || self.is_border(pe))
-            {
+            if c.io && (self.io_policy == IoPolicy::Anywhere || self.is_border(pe)) {
                 io += 1;
             }
         }
@@ -366,8 +364,7 @@ mod tests {
             for b in f.pe_ids() {
                 let (ar, ac) = f.coords(a);
                 let (br, bc) = f.coords(b);
-                let manhattan =
-                    (ar.abs_diff(br) + ac.abs_diff(bc)) as u32;
+                let manhattan = (ar.abs_diff(br) + ac.abs_diff(bc)) as u32;
                 assert_eq!(d[a.index()][b.index()], manhattan);
             }
         }

@@ -33,7 +33,9 @@
 pub mod fabric;
 pub mod render;
 pub mod spacetime;
+pub mod topo;
 
 pub use fabric::{CellCaps, Fabric, IoPolicy, LatencyModel, PeId, Topology};
 pub use render::render_fabric;
 pub use spacetime::{ResourceKey, SpaceTime};
+pub use topo::{HopMatrix, TopologyCache};

@@ -34,9 +34,7 @@ pub fn render_fabric(f: &Fabric) -> String {
             let caps = f.caps(pe);
             let m = if caps.mul { 'M' } else { '.' };
             let d = if caps.mem { 'D' } else { '.' };
-            let io = if caps.io
-                && (f.io_policy == IoPolicy::Anywhere || f.is_border(pe))
-            {
+            let io = if caps.io && (f.io_policy == IoPolicy::Anywhere || f.is_border(pe)) {
                 'I'
             } else {
                 '.'
@@ -59,7 +57,10 @@ pub fn render_fabric(f: &Fabric) -> String {
         }
     }
     let _ = writeln!(s);
-    let _ = writeln!(s, "legend: M = multiplier, D = data-memory port, I = stream I/O");
+    let _ = writeln!(
+        s,
+        "legend: M = multiplier, D = data-memory port, I = stream I/O"
+    );
     let _ = writeln!(
         s,
         "each cell: FU + {}-entry RF + configuration register (one context per II slot)",

@@ -10,19 +10,17 @@ fn bench_heuristics(c: &mut Criterion) {
     let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
     let cfg = MapConfig::default();
     let mut group = c.benchmark_group("heuristic_mappers");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let kernels = [kernels::dot_product(), kernels::fir(4), kernels::sobel()];
     for mapper in heuristic_mappers() {
         for k in &kernels {
-            group.bench_with_input(
-                BenchmarkId::new(mapper.name(), &k.name),
-                k,
-                |b, k| {
-                    b.iter(|| {
-                        let _ = std::hint::black_box(mapper.map(k, &fabric, &cfg));
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(mapper.name(), &k.name), k, |b, k| {
+                b.iter(|| {
+                    let _ = std::hint::black_box(mapper.map(k, &fabric, &cfg));
+                })
+            });
         }
     }
     group.finish();
@@ -35,7 +33,9 @@ fn bench_meta(c: &mut Criterion) {
         ..MapConfig::default()
     };
     let mut group = c.benchmark_group("meta_heuristic_mappers");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     let k = kernels::sad();
     let metas: Vec<Box<dyn Mapper>> = vec![
         Box::new(SimulatedAnnealing::default()),
@@ -59,7 +59,9 @@ fn bench_exact(c: &mut Criterion) {
         ..MapConfig::default()
     };
     let mut group = c.benchmark_group("exact_mappers");
-    group.sample_size(10).measurement_time(Duration::from_secs(12));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(12));
     let k = kernels::dot_product();
     let exacts: Vec<Box<dyn Mapper>> = vec![
         Box::new(SatMapper::default()),

@@ -14,7 +14,9 @@ kernel blend(in a, in b, in alpha, out y) {
 
 fn bench_frontend(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontend");
-    group.sample_size(50).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("parse_and_lower", |b| {
         b.iter(|| std::hint::black_box(frontend::compile_kernel(SRC).unwrap()))
     });
@@ -23,7 +25,9 @@ fn bench_frontend(c: &mut Criterion) {
 
 fn bench_passes(c: &mut Criterion) {
     let mut group = c.benchmark_group("middle_end");
-    group.sample_size(50).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(5));
     let base = kernels::yuv2rgb();
     group.bench_function("optimize_yuv2rgb", |b| {
         b.iter(|| {
@@ -46,7 +50,9 @@ fn bench_simulation(c: &mut Criterion) {
         .unwrap();
     let tape = Tape::generate(2, 1024, |s, i| ((s + 1) * (i + 1)) as i64 % 31);
     let mut group = c.benchmark_group("simulation");
-    group.sample_size(20).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(6));
     group.bench_function("interpreter_1024_iters", |b| {
         b.iter(|| std::hint::black_box(Interpreter::run(&dfg, 1024, &tape).unwrap()))
     });

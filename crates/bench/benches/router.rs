@@ -1,9 +1,20 @@
 //! Criterion benches for the space-time router and the PathFinder
 //! negotiation loop (the ablation's performance side).
+//!
+//! The `route_all` group carries the cached-vs-uncached pair: the
+//! `negotiated_cached` row runs the [`TopologyCache`]-backed
+//! `route_all_with` hot path, `negotiated_uncached` runs the frozen
+//! pre-cache router (`route::naive`), so the gap between them is the
+//! topology-cache + scratch-reuse win on the real historical baseline.
+//! The machine-independent form of that gap (a speedup ratio) is what
+//! the `bench_router` bin emits into `BENCH_router.json` for the CI
+//! regression gate.
 
 use cgra::mapper::mapping::Placement;
-use cgra::mapper::route::{find_route, route_all, RouteOpts};
+use cgra::mapper::route::{self, find_route, route_all, route_all_with, RouteOpts};
+use cgra::mapper::telemetry::Telemetry;
 use cgra::prelude::*;
+use cgra_arch::TopologyCache;
 use cgra_ir::graph::{asap, unit_latency};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashSet;
@@ -13,7 +24,9 @@ fn bench_single_route(c: &mut Criterion) {
     let fabric = Fabric::homogeneous(8, 8, Topology::Mesh);
     let st = cgra::arch::SpaceTime::new(&fabric, 4);
     let mut group = c.benchmark_group("router");
-    group.sample_size(30).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(6));
     group.bench_function("corner_to_corner_8x8", |b| {
         b.iter(|| {
             std::hint::black_box(find_route(
@@ -34,6 +47,7 @@ fn bench_single_route(c: &mut Criterion) {
 
 fn bench_route_all(c: &mut Criterion) {
     let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+    let topo = TopologyCache::build(&fabric);
     let dfg = kernels::sobel();
     let times = asap(&dfg, &unit_latency);
     // A deliberately mediocre placement to give negotiation work.
@@ -44,15 +58,28 @@ fn bench_route_all(c: &mut Criterion) {
             time: times[n.index()] * 3,
         })
         .collect();
+    let off = Telemetry::off();
     let mut group = c.benchmark_group("route_all");
-    group.sample_size(20).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(8));
     for (label, negotiated) in [("negotiated", true), ("single_pass", false)] {
         group.bench_function(label, |b| {
-            b.iter(|| {
-                std::hint::black_box(route_all(&fabric, &dfg, &place, 8, 10, negotiated))
-            })
+            b.iter(|| std::hint::black_box(route_all(&fabric, &dfg, &place, 8, 10, negotiated)))
         });
     }
+    // Cached vs uncached: same work, shared topology table + reused
+    // scratch vs the frozen pre-cache router.
+    group.bench_function("negotiated_cached", |b| {
+        b.iter(|| {
+            std::hint::black_box(route_all_with(
+                &fabric, &topo, &dfg, &place, 8, 10, true, &off,
+            ))
+        })
+    });
+    group.bench_function("negotiated_uncached", |b| {
+        b.iter(|| std::hint::black_box(route::naive::route_all(&fabric, &dfg, &place, 8, 10, true)))
+    });
     group.finish();
 }
 

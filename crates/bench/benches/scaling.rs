@@ -11,7 +11,9 @@ fn bench_scaling(c: &mut Criterion) {
         ..MapConfig::default()
     };
     let mut group = c.benchmark_group("scalability");
-    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15));
     for (side, lanes) in [(4u16, 4usize), (8, 12)] {
         let fabric = Fabric::homogeneous(side, side, Topology::Mesh);
         let kernel = kernels::unrolled_mac(lanes);

@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench_simplex(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex");
-    group.sample_size(20).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(6));
     group.bench_function("assignment_8x8_relaxation", |b| {
         b.iter(|| {
             let n = 8usize;
@@ -31,7 +33,9 @@ fn bench_simplex(c: &mut Criterion) {
 
 fn bench_ilp(c: &mut Criterion) {
     let mut group = c.benchmark_group("ilp_bnb");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("knapsack_16", |b| {
         b.iter(|| {
             let mut m = IlpModel::new(true);
@@ -50,9 +54,12 @@ fn bench_ilp(c: &mut Criterion) {
     group.finish();
 }
 
+#[allow(clippy::needless_range_loop)] // pigeonhole clauses index p[a][hole]/p[b][hole]
 fn bench_sat(c: &mut Criterion) {
     let mut group = c.benchmark_group("cdcl_sat");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("php_7_6_unsat", |b| {
         b.iter(|| {
             let mut s = SatSolver::new();
@@ -88,7 +95,9 @@ fn bench_sat(c: &mut Criterion) {
 
 fn bench_cp(c: &mut Criterion) {
     let mut group = c.benchmark_group("cp_engine");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("n_queens_8", |b| {
         b.iter(|| {
             let n = 8u32;
@@ -109,7 +118,9 @@ fn bench_cp(c: &mut Criterion) {
 
 fn bench_smt(c: &mut Criterion) {
     let mut group = c.benchmark_group("smt_difference_logic");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("window_chain_24", |b| {
         b.iter(|| {
             let n = 24;
@@ -126,5 +137,12 @@ fn bench_smt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simplex, bench_ilp, bench_sat, bench_cp, bench_smt);
+criterion_group!(
+    benches,
+    bench_simplex,
+    bench_ilp,
+    bench_sat,
+    bench_cp,
+    bench_smt
+);
 criterion_main!(benches);

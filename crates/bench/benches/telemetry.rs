@@ -11,6 +11,7 @@ use cgra::mapper::mapping::Placement;
 use cgra::mapper::route::{route_all, route_all_with};
 use cgra::mapper::telemetry::Telemetry;
 use cgra::prelude::*;
+use cgra_arch::TopologyCache;
 use cgra_ir::graph::{asap, unit_latency};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -26,21 +27,28 @@ fn bench_router_overhead(c: &mut Criterion) {
             time: times[n.index()] * 3,
         })
         .collect();
+    let topo = TopologyCache::build(&fabric);
     let mut group = c.benchmark_group("telemetry_router");
-    group.sample_size(30).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(6));
     group.bench_function("baseline", |b| {
         b.iter(|| criterion::black_box(route_all(&fabric, &dfg, &place, 8, 10, true)))
     });
     let off = Telemetry::off();
     group.bench_function("off", |b| {
         b.iter(|| {
-            criterion::black_box(route_all_with(&fabric, &dfg, &place, 8, 10, true, &off))
+            criterion::black_box(route_all_with(
+                &fabric, &topo, &dfg, &place, 8, 10, true, &off,
+            ))
         })
     });
     let on = Telemetry::enabled();
     group.bench_function("on", |b| {
         b.iter(|| {
-            criterion::black_box(route_all_with(&fabric, &dfg, &place, 8, 10, true, &on))
+            criterion::black_box(route_all_with(
+                &fabric, &topo, &dfg, &place, 8, 10, true, &on,
+            ))
         })
     });
     group.finish();
@@ -50,7 +58,9 @@ fn bench_modulo_list_overhead(c: &mut Criterion) {
     let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
     let dfg = kernels::fir(8);
     let mut group = c.benchmark_group("telemetry_modulo_list");
-    group.sample_size(30).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(6));
     for (label, tele) in [("off", Telemetry::off()), ("on", Telemetry::enabled())] {
         let cfg = MapConfig {
             telemetry: tele,

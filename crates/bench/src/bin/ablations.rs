@@ -56,7 +56,10 @@ fn main() {
 
     // 2. II search order.
     println!("\n== ablation 2: II search order ==");
-    for (label, order) in [("bottom-up", IiSearch::BottomUp), ("binary", IiSearch::Binary)] {
+    for (label, order) in [
+        ("bottom-up", IiSearch::BottomUp),
+        ("binary", IiSearch::Binary),
+    ] {
         let mapper = ModuloList {
             ii_search: order,
             ..Default::default()
@@ -100,7 +103,10 @@ fn main() {
             .iter()
             .filter(|k| mapper.map(k, &fabric, &cfg).is_ok())
             .count();
-        println!("  {label:<10} {ok}/{} small kernels", kernels::small_suite().len());
+        println!(
+            "  {label:<10} {ok}/{} small kernels",
+            kernels::small_suite().len()
+        );
         out.push(Abl {
             experiment: "sa-cooling".into(),
             variant: label.into(),

@@ -47,8 +47,7 @@ fn main() {
             .map(&dfg, &fabric, &MapConfig::default())
             .unwrap_or_else(|e| panic!("{style}: {e}"));
         validate(&m, &dfg, &fabric).expect("valid");
-        let stats = cgra::sim::simulate_verified(&m, &dfg, &fabric, 16, &tape)
-            .expect("functional");
+        let stats = cgra::sim::simulate_verified(&m, &dfg, &fabric, 16, &tape).expect("functional");
         let metrics = Metrics::of(&m, &dfg, &fabric);
         println!(
             "{style:<20} (via {:<12}) II={:<3} schedule={:<3} 16 iters in {:>3} cycles",
@@ -74,7 +73,11 @@ fn main() {
         "shape check: modulo scheduling overlaps iterations (II {} < schedule length {}): {}",
         rows[2].ii,
         rows[2].schedule_len,
-        if rows[2].ii < rows[2].schedule_len { "HOLDS" } else { "VIOLATED" }
+        if rows[2].ii < rows[2].schedule_len {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     save_json("fig3_flow", &rows);
 }

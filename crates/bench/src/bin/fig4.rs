@@ -36,26 +36,46 @@ fn main() {
     println!("shape checks (survey claims):");
     println!(
         "  intensified efforts in the last decade ({first_decade} vs {second_decade}): {}",
-        if second_decade > first_decade { "HOLDS" } else { "VIOLATED" }
+        if second_decade > first_decade {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "  clear increase in 2021 (bar {y2021} = max {max_bar}): {}",
-        if y2021 == max_bar { "HOLDS" } else { "VIOLATED" }
+        if y2021 == max_bar {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "  modulo scheduling since the beginning (first {} <= 2003): {}",
         spans[&survey::Tag::ModuloScheduling].0,
-        if spans[&survey::Tag::ModuloScheduling].0 <= 2003 { "HOLDS" } else { "VIOLATED" }
+        if spans[&survey::Tag::ModuloScheduling].0 <= 2003 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "  branch support from the early 2000s (first {} <= 2002): {}",
         spans[&survey::Tag::FullPredication].0,
-        if spans[&survey::Tag::FullPredication].0 <= 2002 { "HOLDS" } else { "VIOLATED" }
+        if spans[&survey::Tag::FullPredication].0 <= 2002 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "  memory-aware methods from around 2010 (first {}): {}",
         spans[&survey::Tag::MemoryAware].0,
-        if (2008..=2013).contains(&spans[&survey::Tag::MemoryAware].0) { "HOLDS" } else { "VIOLATED" }
+        if (2008..=2013).contains(&spans[&survey::Tag::MemoryAware].0) {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 
     save_json("fig4_histogram", &hist);

@@ -43,7 +43,9 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
 /// Quick/full switch: experiment drivers honour `CGRA_QUICK=1` to keep
 /// CI fast; the full runs are the defaults.
 pub fn quick() -> bool {
-    std::env::var("CGRA_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("CGRA_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Input-stream count of a DFG (for tape generation).

@@ -143,12 +143,16 @@ pub fn predicate_diamond(
     scheme: IteScheme,
 ) -> Result<PredicatedKernel, CtrlFlowError> {
     let (branch, then_b, else_b, join) = cdfg.find_diamond().ok_or(CtrlFlowError::NoDiamond)?;
-    let mut out = Dfg::new(format!("{}_{}", cdfg.name, match scheme {
-        IteScheme::FullPredication => "fullpred",
-        IteScheme::PartialPredication => "partpred",
-        IteScheme::DualIssue => "dualissue",
-        IteScheme::DirectCdfg => "direct",
-    }));
+    let mut out = Dfg::new(format!(
+        "{}_{}",
+        cdfg.name,
+        match scheme {
+            IteScheme::FullPredication => "fullpred",
+            IteScheme::PartialPredication => "partpred",
+            IteScheme::DualIssue => "dualissue",
+            IteScheme::DirectCdfg => "direct",
+        }
+    ));
     let mut env: HashMap<String, NodeId> = HashMap::new();
     let mut inputs: Vec<String> = Vec::new();
 
@@ -317,10 +321,16 @@ impl std::fmt::Display for LoopExtractError {
                 write!(f, "loop body spans multiple blocks; predicate it first")
             }
             LoopExtractError::HeaderDefines(v) => {
-                write!(f, "loop header defines `{v}`; only the exit test may live there")
+                write!(
+                    f,
+                    "loop header defines `{v}`; only the exit test may live there"
+                )
             }
             LoopExtractError::UnknownInvariant(v) => {
-                write!(f, "loop-invariant `{v}` has no value in the entry environment")
+                write!(
+                    f,
+                    "loop-invariant `{v}` has no value in the entry environment"
+                )
             }
         }
     }
@@ -541,7 +551,10 @@ mod tests {
         let c = diamond();
         let f = cgra_arch::Fabric::homogeneous(4, 4, cgra_arch::Topology::Mesh);
         let d = map_direct(&c, &ModuloList::default(), &f, &MapConfig::fast()).unwrap();
-        assert!(d.total_contexts >= 2, "several blocks must consume contexts");
+        assert!(
+            d.total_contexts >= 2,
+            "several blocks must consume contexts"
+        );
         let mapped = d.blocks.iter().filter(|b| b.is_some()).count();
         assert!(mapped >= 3);
     }
@@ -615,10 +628,9 @@ mod tests {
 
     #[test]
     fn loop_extraction_rejects_unknown_invariants() {
-        let c = frontend::compile_func(
-            "func f(n, k) { var i = 0; while (i < n) { i += k; } return; }",
-        )
-        .unwrap();
+        let c =
+            frontend::compile_func("func f(n, k) { var i = 0; while (i < n) { i += k; } return; }")
+                .unwrap();
         let loops = c.loops();
         let entry = HashMap::new(); // nothing bound
         let err = super::extract_loop_kernel(&c, &loops[0], &entry).unwrap_err();

@@ -25,7 +25,7 @@ use crate::mapping::Mapping;
 use crate::metrics::Metrics;
 use crate::portfolio::PortfolioEntry;
 use crate::telemetry::{Counter, Telemetry};
-use crate::validate::validate;
+use crate::validate::validate_with;
 use cgra_arch::Fabric;
 use cgra_ir::Dfg;
 use cgra_solver::Interrupt;
@@ -249,6 +249,8 @@ pub fn race(
     // every later run under the same config. External cancellation of
     // `cfg.budget` is still honoured at job boundaries below.
     let shared = cfg.budget.fork(cfg.time_limit);
+    // One topology table shared by every job and the winner validation.
+    let topo = cfg.topo_for(fabric);
     let winner: Mutex<Option<(String, Mapping)>> = Mutex::new(None);
     let start = Instant::now();
 
@@ -265,6 +267,7 @@ pub fn race(
             let mut job_cfg = cfg.clone();
             job_cfg.telemetry = Telemetry::enabled();
             job_cfg.budget = shared.clone();
+            job_cfg.topo = Some(Arc::clone(&topo));
             let job_start = Instant::now();
             // A job that only gets scheduled after the race is decided
             // (or after the caller cancelled the whole race) skips the
@@ -277,7 +280,7 @@ pub fn race(
             let compile_ms = job_start.elapsed().as_secs_f64() * 1e3;
             let mut won = false;
             let (metrics, error) = match result {
-                Ok(m) => match validate(&m, dfg, fabric) {
+                Ok(m) => match validate_with(&m, dfg, fabric, &topo) {
                     Ok(()) => {
                         let metrics = Metrics::of(&m, dfg, fabric);
                         let on_target = target_ii.is_none_or(|t| metrics.ii <= t);
@@ -366,6 +369,8 @@ pub fn parallel_ii(
     }
 
     let parent = cfg.budget.child(cfg.time_limit);
+    // One topology table shared by every per-II job.
+    let topo = cfg.topo_for(fabric);
     let iis: Vec<u32> = (lo..=hi).collect();
     // One individually cancellable budget per II job.
     let budgets: Vec<Budget> = iis.iter().map(|_| parent.fork(cfg.time_limit)).collect();
@@ -386,10 +391,11 @@ pub fn parallel_ii(
             job_cfg.min_ii = ii;
             job_cfg.max_ii = ii;
             job_cfg.budget = budgets[j].clone();
+            job_cfg.topo = Some(Arc::clone(&topo));
             cfg.ledger.ii_attempt(mapper.name(), ii);
             match mapper.map(dfg, fabric, &job_cfg) {
                 Ok(m) => {
-                    if validate(&m, dfg, fabric).is_err() {
+                    if validate_with(&m, dfg, fabric, &topo).is_err() {
                         return Some(MapError::Infeasible(format!("INVALID OUTPUT at II {ii}")));
                     }
                     let mut b = best.lock().unwrap();
@@ -433,6 +439,7 @@ pub fn parallel_ii(
 mod tests {
     use super::*;
     use crate::mappers::{ModuloList, SpatialGreedy};
+    use crate::validate::validate;
     use cgra_arch::Topology;
     use cgra_ir::kernels;
 

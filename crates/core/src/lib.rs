@@ -57,7 +57,7 @@ pub use metrics::Metrics;
 pub use registry::{MapperRegistry, MapperSpec, UnknownMapper};
 pub use report::{ConfigDigest, RunReport};
 pub use telemetry::{Counter, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry};
-pub use validate::{validate, ValidationError};
+pub use validate::{validate, validate_with, ValidationError};
 
 /// Everything a mapper user needs.
 pub mod prelude {
@@ -71,5 +71,5 @@ pub mod prelude {
     pub use crate::registry::{MapperRegistry, MapperSpec, UnknownMapper};
     pub use crate::report::{ConfigDigest, RunReport};
     pub use crate::telemetry::{Counter, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry};
-    pub use crate::validate::validate;
+    pub use crate::validate::{validate, validate_with};
 }

@@ -4,10 +4,11 @@ use crate::engine::Budget;
 use crate::ledger::Ledger;
 use crate::mapping::Mapping;
 use crate::telemetry::Telemetry;
-use cgra_arch::Fabric;
+use cgra_arch::{Fabric, TopologyCache};
 use cgra_ir::Dfg;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The survey's Table I classification axes.
@@ -73,6 +74,12 @@ pub struct MapConfig {
     /// [`MapConfig::run_budget`], so a racing engine can cancel a run
     /// mid-search through the shared token. See [`crate::engine`].
     pub budget: Budget,
+    /// Optional shared topology cache. `None` by default; mappers
+    /// obtain their per-run cache via [`MapConfig::topo_for`], which
+    /// reuses this one when it matches the fabric and builds a private
+    /// one otherwise. The racing and parallel-II engines pre-seed it so
+    /// every concurrent attempt shares a single table.
+    pub topo: Option<Arc<TopologyCache>>,
 }
 
 impl Default for MapConfig {
@@ -87,6 +94,7 @@ impl Default for MapConfig {
             telemetry: Telemetry::off(),
             ledger: Ledger::off(),
             budget: Budget::unlimited(),
+            topo: None,
         }
     }
 }
@@ -112,6 +120,18 @@ impl MapConfig {
     /// Replaces the per-mapper `Instant::now() + time_limit` deadlines.
     pub fn run_budget(&self) -> Budget {
         self.budget.child(self.time_limit)
+    }
+
+    /// The topology cache a run against `fabric` should use: the
+    /// pre-seeded [`MapConfig::topo`] when its fingerprint matches the
+    /// fabric (an `Arc` clone, no table rebuild), or a freshly built
+    /// private cache otherwise. Mappers call this once per `map()` and
+    /// thread the result through their search.
+    pub fn topo_for(&self, fabric: &Fabric) -> Arc<TopologyCache> {
+        match &self.topo {
+            Some(t) if t.matches(fabric) => Arc::clone(t),
+            _ => Arc::new(TopologyCache::build(fabric)),
+        }
     }
 
     /// The II range a temporal mapper must search, given the kernel's
@@ -197,6 +217,12 @@ impl MapConfigBuilder {
 
     pub fn budget(mut self, budget: Budget) -> Self {
         self.cfg.budget = budget;
+        self
+    }
+
+    /// Pre-seed the shared topology cache (see [`MapConfig::topo`]).
+    pub fn topo(mut self, topo: Arc<TopologyCache>) -> Self {
+        self.cfg.topo = Some(topo);
         self
     }
 

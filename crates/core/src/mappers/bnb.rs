@@ -16,7 +16,7 @@ use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::Fabric;
+use cgra_arch::{Fabric, TopologyCache};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 
 /// The branch-and-bound mapper.
@@ -97,7 +97,7 @@ impl BranchAndBound {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         budget: &Budget,
         tele: &Telemetry,
         ledger: &Ledger,
@@ -116,7 +116,7 @@ impl BranchAndBound {
             wall: budget,
             beam: self.beam,
             window_iis: self.window_iis,
-            state: SchedState::new(dfg, fabric, ii, hop, tele.clone()),
+            state: SchedState::new(dfg, fabric, ii, topo, tele.clone()),
         };
         if bb.dfs(0) {
             let nodes = bb.nodes;
@@ -148,11 +148,11 @@ impl Mapper for BranchAndBound {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
             if let Some(m) =
-                self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry, &cfg.ledger)
+                self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry, &cfg.ledger)
             {
                 return Ok(m);
             }

@@ -13,10 +13,11 @@ use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::Dfg;
 use cgra_solver::cp::CpConfig;
 use cgra_solver::{CpModel, CpSolution, CpVar};
+use std::sync::Arc;
 
 /// The CP mapper.
 #[derive(Debug, Clone)]
@@ -43,7 +44,7 @@ impl CpMapper {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &Arc<TopologyCache>,
         budget: &Budget,
         tele: &Telemetry,
         ledger: &Ledger,
@@ -77,12 +78,12 @@ impl CpMapper {
                 let sp: Vec<(PeId, u32)> = space.positions[e.src.index()].clone();
                 let dp: Vec<(PeId, u32)> = space.positions[e.dst.index()].clone();
                 let fabric2 = fabric.clone();
-                let hop2: Vec<Vec<u32>> = hop.to_vec();
+                let topo2 = Arc::clone(topo);
                 let dist = e.dist;
                 if e.src == e.dst {
                     // Self edge: the position must be self-compatible.
                     for (k, &a) in sp.iter().enumerate() {
-                        if !edge_compatible(fabric, hop, ii, src_op, dist, a, a) {
+                        if !edge_compatible(fabric, topo, ii, src_op, dist, a, a) {
                             model.forbid(vars[e.src.index()], k as u32);
                         }
                     }
@@ -90,7 +91,7 @@ impl CpMapper {
                     model.binary_table(vars[e.src.index()], vars[e.dst.index()], move |a, b| {
                         edge_compatible(
                             &fabric2,
-                            &hop2,
+                            &topo2,
                             ii,
                             src_op,
                             dist,
@@ -146,7 +147,7 @@ impl CpMapper {
                         .enumerate()
                         .map(|(o, &k)| space.positions[o][k as usize])
                         .collect();
-                    if let Some(m) = realise(dfg, fabric, ii, &chosen, tele) {
+                    if let Some(m) = realise(dfg, fabric, topo, ii, &chosen, tele) {
                         return Ok(Some(m));
                     }
                     blocked.push(chosen);
@@ -171,10 +172,10 @@ impl Mapper for CpMapper {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry, &cfg.ledger) {
+            match self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry, &cfg.ledger) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),

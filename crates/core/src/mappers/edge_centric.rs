@@ -13,7 +13,7 @@ use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId, SpaceTime};
+use cgra_arch::{Fabric, PeId, SpaceTime, TopologyCache};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 
 /// The edge-centric mapper.
@@ -34,6 +34,7 @@ impl Default for EdgeCentric {
 /// the single-source profile EMS uses to steer placement.
 fn route_cost_field(
     fabric: &Fabric,
+    topo: &TopologyCache,
     st: &SpaceTime,
     from: PeId,
     tr: u32,
@@ -66,9 +67,8 @@ fn route_cost_field(
             continue;
         }
         let t_next = tr + step as u32 + 1;
-        let mut cands = fabric.neighbors(pe);
-        cands.push(pe);
-        for nxt in cands {
+        // CSR slice plus "stay put" — no per-expansion allocation.
+        for &nxt in topo.neighbors(pe).iter().chain(std::iter::once(&pe)) {
             if let Some(c) = enter(nxt, t_next) {
                 let nd = d + c;
                 if nd < dist[step + 1][nxt.index()] {
@@ -87,13 +87,13 @@ impl EdgeCentric {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
         let _span = tele.span_ii(Phase::Map, ii);
-        let mut state = SchedState::new(dfg, fabric, ii, hop, tele.clone());
+        let mut state = SchedState::new(dfg, fabric, ii, topo, tele.clone());
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
         let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
@@ -124,7 +124,7 @@ impl EdgeCentric {
                 .collect();
             let fields: Vec<Vec<Vec<u64>>> = producers
                 .iter()
-                .map(|&(_, pe, tr)| route_cost_field(fabric, &state.st, pe, tr, window_end))
+                .map(|&(_, pe, tr)| route_cost_field(fabric, topo, &state.st, pe, tr, window_end))
                 .collect();
 
             // Score every (t, pe): summed producer route costs.
@@ -189,11 +189,11 @@ impl Mapper for EdgeCentric {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
             cfg.ledger.ii_attempt("edge-centric", ii);
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry) {
                 cfg.telemetry.bump(Counter::Incumbents);
                 cfg.ledger.incumbent("edge-centric", ii, ii as f64);
                 return Ok(m);

@@ -23,7 +23,7 @@ use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::{Mapping, Placement};
 use crate::route::route_all_with;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 
 /// The MCS-based mapper.
@@ -46,7 +46,7 @@ impl Default for EpiMap {
 struct Search<'a> {
     dfg: &'a Dfg,
     fabric: &'a Fabric,
-    hop: &'a [Vec<u32>],
+    topo: &'a TopologyCache,
     ii: u32,
     order: Vec<NodeId>,
     assign: Vec<Option<Placement>>,
@@ -72,7 +72,7 @@ impl<'a> Search<'a> {
             if let Some(p) = producer {
                 let tr = p.time + self.fabric.latency_of(self.dfg.op(e.src));
                 let tc = t + self.ii * e.dist;
-                if tc < tr || self.hop[p.pe.index()][pe.index()] > tc - tr {
+                if tc < tr || self.topo.hops(p.pe, pe) > tc - tr {
                     return false;
                 }
             }
@@ -84,7 +84,7 @@ impl<'a> Search<'a> {
             if let Some(d) = self.assign[e.dst.index()] {
                 let tr = t + self.fabric.latency_of(self.dfg.op(n));
                 let tc = d.time + self.ii * e.dist;
-                if tc < tr || self.hop[pe.index()][d.pe.index()] > tc - tr {
+                if tc < tr || self.topo.hops(pe, d.pe) > tc - tr {
                     return false;
                 }
             }
@@ -132,7 +132,7 @@ impl<'a> Search<'a> {
                 let mut cost = t;
                 for (_, e) in self.dfg.in_edges(n) {
                     if let Some(p) = self.assign[e.src.index()] {
-                        cost += self.hop[p.pe.index()][pe.index()];
+                        cost += self.topo.hops(p.pe, pe);
                     }
                 }
                 cands.push((cost, t, pe));
@@ -164,7 +164,7 @@ impl EpiMap {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
@@ -178,7 +178,7 @@ impl EpiMap {
         let mut search = Search {
             dfg,
             fabric,
-            hop,
+            topo,
             ii,
             order,
             assign: vec![None; dfg.node_count()],
@@ -193,7 +193,7 @@ impl EpiMap {
             return None;
         }
         let place: Vec<Placement> = search.assign.into_iter().map(|p| p.unwrap()).collect();
-        let routes = route_all_with(fabric, dfg, &place, ii, 12, true, tele)?;
+        let routes = route_all_with(fabric, topo, dfg, &place, ii, 12, true, tele)?;
         Some(Mapping { ii, place, routes })
     }
 }
@@ -212,11 +212,11 @@ impl Mapper for EpiMap {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
             cfg.ledger.ii_attempt("epimap", ii);
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry) {
                 cfg.telemetry.bump(Counter::Incumbents);
                 cfg.ledger.incumbent("epimap", ii, ii as f64);
                 return Ok(m);

@@ -15,7 +15,7 @@
 use crate::mapping::{Mapping, Placement};
 use crate::route::route_all_with;
 use crate::telemetry::{Counter, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::{graph, Dfg, OpKind};
 use cgra_solver::SolverStats;
 
@@ -41,13 +41,7 @@ impl PositionSpace {
     /// crosses the fabric. The cap keeps a spread across time layers
     /// (round-robin by cycle, centre-most PEs first) rather than only
     /// the earliest cycles.
-    pub fn build(
-        dfg: &Dfg,
-        fabric: &Fabric,
-        ii: u32,
-        window_iis: u32,
-        cap: Option<usize>,
-    ) -> Self {
+    pub fn build(dfg: &Dfg, fabric: &Fabric, ii: u32, window_iis: u32, cap: Option<usize>) -> Self {
         let lat = |op: OpKind| fabric.latency_of(op);
         let asap = graph::asap(dfg, &lat);
         let lat_hop = |op: OpKind| fabric.latency_of(op) + 1;
@@ -114,7 +108,7 @@ impl PositionSpace {
 /// (Latency + hop-distance feasibility on the TEC.)
 pub(crate) fn edge_compatible(
     fabric: &Fabric,
-    hop: &[Vec<u32>],
+    topo: &TopologyCache,
     ii: u32,
     src_op: OpKind,
     dist: u32,
@@ -123,13 +117,14 @@ pub(crate) fn edge_compatible(
 ) -> bool {
     let tr = a.1 + fabric.latency_of(src_op);
     let tc = b.1 + ii * dist;
-    tc >= tr && hop[a.0.index()][b.0.index()] <= tc - tr
+    tc >= tr && topo.hops(a.0, b.0) <= tc - tr
 }
 
 /// Route a chosen placement; `None` if the router cannot realise it.
 pub(crate) fn realise(
     dfg: &Dfg,
     fabric: &Fabric,
+    topo: &TopologyCache,
     ii: u32,
     chosen: &[Pos],
     tele: &Telemetry,
@@ -138,7 +133,7 @@ pub(crate) fn realise(
         .iter()
         .map(|&(pe, time)| Placement { pe, time })
         .collect();
-    let routes = route_all_with(fabric, dfg, &place, ii, 12, true, tele)?;
+    let routes = route_all_with(fabric, topo, dfg, &place, ii, 12, true, tele)?;
     Some(Mapping { ii, place, routes })
 }
 
@@ -196,14 +191,46 @@ mod tests {
     #[test]
     fn compatibility_is_hop_and_latency() {
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
-        let hop = f.hop_distance();
+        let topo = TopologyCache::build(&f);
         // pe0 -> pe3 is 3 hops.
         let src = OpKind::Add;
-        assert!(edge_compatible(&f, &hop, 4, src, 0, (PeId(0), 0), (PeId(3), 4)));
-        assert!(!edge_compatible(&f, &hop, 4, src, 0, (PeId(0), 0), (PeId(3), 2)));
+        assert!(edge_compatible(
+            &f,
+            &topo,
+            4,
+            src,
+            0,
+            (PeId(0), 0),
+            (PeId(3), 4)
+        ));
+        assert!(!edge_compatible(
+            &f,
+            &topo,
+            4,
+            src,
+            0,
+            (PeId(0), 0),
+            (PeId(3), 2)
+        ));
         // Carried edge at dist 1 gains ii cycles of slack.
-        assert!(edge_compatible(&f, &hop, 4, src, 1, (PeId(0), 0), (PeId(3), 0)));
+        assert!(edge_compatible(
+            &f,
+            &topo,
+            4,
+            src,
+            1,
+            (PeId(0), 0),
+            (PeId(3), 0)
+        ));
         // Consumption before ready is never compatible.
-        assert!(!edge_compatible(&f, &hop, 4, src, 0, (PeId(0), 5), (PeId(0), 3)));
+        assert!(!edge_compatible(
+            &f,
+            &topo,
+            4,
+            src,
+            0,
+            (PeId(0), 5),
+            (PeId(0), 3)
+        ));
     }
 }

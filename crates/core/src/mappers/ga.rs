@@ -14,7 +14,7 @@ use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::Dfg;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,7 +49,7 @@ impl Genetic {
         &self,
         dfg: &Dfg,
         fabric: &Fabric,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         ii: u32,
         seed: u64,
         budget: &Budget,
@@ -80,7 +80,7 @@ impl Genetic {
             }
             scored = pop
                 .par_iter()
-                .map(|b| (eval_binding(dfg, fabric, hop, b, ii).cost, b.clone()))
+                .map(|b| (eval_binding(dfg, fabric, topo, b, ii).cost, b.clone()))
                 .collect();
             scored.sort_by_key(|(c, _)| *c);
             // A generation whose champion improves on the best seen so
@@ -134,7 +134,7 @@ impl Genetic {
         if scored.is_empty() {
             scored = pop
                 .par_iter()
-                .map(|b| (eval_binding(dfg, fabric, hop, b, ii).cost, b.clone()))
+                .map(|b| (eval_binding(dfg, fabric, topo, b, ii).cost, b.clone()))
                 .collect();
             scored.sort_by_key(|(c, _)| *c);
         }
@@ -156,7 +156,7 @@ impl Mapper for Genetic {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
 
         for ii in min_ii..=max_ii {
@@ -166,7 +166,7 @@ impl Mapper for Genetic {
             let scored = self.evolve(
                 dfg,
                 fabric,
-                &hop,
+                &topo,
                 ii,
                 cfg.seed ^ ii as u64,
                 &budget,
@@ -174,9 +174,9 @@ impl Mapper for Genetic {
                 &cfg.ledger,
             );
             for (_, binding) in scored.into_iter().take(3) {
-                if let Some(times) = legal_schedule(dfg, fabric, &hop, &binding, ii) {
+                if let Some(times) = legal_schedule(dfg, fabric, &topo, &binding, ii) {
                     if let Some(m) =
-                        finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
+                        finish_binding(dfg, fabric, &topo, &binding, &times, ii, &cfg.telemetry)
                     {
                         return Ok(m);
                     }

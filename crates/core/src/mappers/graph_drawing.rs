@@ -102,8 +102,8 @@ impl Mapper for GraphDrawing {
         }
 
         // 3. Schedule + route.
-        let hop = fabric.hop_distance();
-        let m = finish_spatial(dfg, fabric, &hop, &pes, true, &cfg.telemetry)
+        let topo = cfg.topo_for(fabric);
+        let m = finish_spatial(dfg, fabric, &topo, &pes, true, &cfg.telemetry)
             .ok_or_else(|| MapError::Infeasible("drawing legalised but unroutable".into()))?;
         cfg.telemetry.bump(Counter::Incumbents);
         cfg.ledger.incumbent("graph-drawing", m.ii, m.ii as f64);

@@ -15,7 +15,7 @@ use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::{Mapping, Placement};
 use crate::route::route_all_with;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 
 /// The level-matching minor-embedding mapper.
@@ -39,7 +39,7 @@ impl GraphMinor {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
@@ -59,7 +59,7 @@ impl GraphMinor {
             if budget.expired_now() {
                 return None;
             }
-            if let Some(m) = self.embed(dfg, fabric, ii, hop, &by_level, spacing, budget, tele) {
+            if let Some(m) = self.embed(dfg, fabric, ii, topo, &by_level, spacing, budget, tele) {
                 return Some(m);
             }
         }
@@ -72,7 +72,7 @@ impl GraphMinor {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         by_level: &[Vec<NodeId>],
         spacing: u32,
         budget: &Budget,
@@ -112,7 +112,7 @@ impl GraphMinor {
                                     Some(p) => {
                                         let tr = p.time + fabric.latency_of(dfg.op(e.src));
                                         let tc = t + ii * e.dist;
-                                        tc >= tr && hop[p.pe.index()][pe.index()] <= tc - tr
+                                        tc >= tr && topo.hops(p.pe, pe) <= tc - tr
                                     }
                                     None => true,
                                 }
@@ -122,7 +122,7 @@ impl GraphMinor {
                             let mut c = 0u32;
                             for (_, e) in dfg.in_edges(n) {
                                 if let Some(p) = trial_place[e.src.index()] {
-                                    c += hop[p.pe.index()][pe.index()];
+                                    c += topo.hops(p.pe, pe);
                                 }
                             }
                             (c, pe.0)
@@ -152,7 +152,7 @@ impl GraphMinor {
         }
         let place: Vec<Placement> = place.into_iter().collect::<Option<_>>()?;
         // Materialise branch sets (routes).
-        let routes = route_all_with(fabric, dfg, &place, ii, 12, true, tele)?;
+        let routes = route_all_with(fabric, topo, dfg, &place, ii, 12, true, tele)?;
         Some(Mapping { ii, place, routes })
     }
 }
@@ -171,11 +171,11 @@ impl Mapper for GraphMinor {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
             cfg.ledger.ii_attempt("graph-minor", ii);
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry) {
                 cfg.telemetry.bump(Counter::Incumbents);
                 cfg.ledger.incumbent("graph-minor", ii, ii as f64);
                 return Ok(m);
@@ -204,12 +204,9 @@ mod tests {
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
         let mut successes = 0;
         for dfg in kernels::suite() {
-            match GraphMinor::default().map(&dfg, &f, &MapConfig::fast()) {
-                Ok(m) => {
-                    validate(&m, &dfg, &f).unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
-                    successes += 1;
-                }
-                Err(_) => {}
+            if let Ok(m) = GraphMinor::default().map(&dfg, &f, &MapConfig::fast()) {
+                validate(&m, &dfg, &f).unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
+                successes += 1;
             }
         }
         assert!(successes >= 8, "only {successes} kernels mapped");

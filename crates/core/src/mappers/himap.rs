@@ -15,7 +15,7 @@ use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 
 /// The hierarchical mapper.
@@ -126,7 +126,7 @@ impl HiMap {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         clusters: &[usize],
         centres: &[(f64, f64)],
         region_radius: u32,
@@ -135,7 +135,7 @@ impl HiMap {
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
         let _span = tele.span_ii(Phase::Map, ii);
-        let mut state = SchedState::new(dfg, fabric, ii, hop, tele.clone());
+        let mut state = SchedState::new(dfg, fabric, ii, topo, tele.clone());
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
         let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
@@ -201,7 +201,7 @@ impl Mapper for HiMap {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let clusters = cluster_dfg(dfg, self.cluster_size);
         let centres = self.region_centres(dfg, &clusters, fabric);
         let budget = cfg.run_budget();
@@ -217,7 +217,7 @@ impl Mapper for HiMap {
                     dfg,
                     fabric,
                     ii,
-                    &hop,
+                    &topo,
                     &clusters,
                     &centres,
                     radius,

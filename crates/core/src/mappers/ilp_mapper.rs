@@ -15,7 +15,7 @@ use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::Dfg;
 use cgra_solver::{Cmp, IlpModel, IlpResult, IlpVar, IncumbentHook};
 use std::collections::HashMap;
@@ -47,7 +47,7 @@ impl IlpMapper {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         budget: &Budget,
         tele: &Telemetry,
         ledger: &Ledger,
@@ -108,7 +108,7 @@ impl IlpMapper {
                         if e.src == e.dst && ka != kb {
                             continue;
                         }
-                        if edge_compatible(fabric, hop, ii, src_op, e.dist, a, b) {
+                        if edge_compatible(fabric, topo, ii, src_op, e.dist, a, b) {
                             row.push((vars[e.dst.index()][kb], -1.0));
                         }
                     }
@@ -168,7 +168,7 @@ impl IlpMapper {
                     None => return Ok(None), // should not happen
                 }
             }
-            if let Some(m) = realise(dfg, fabric, ii, &chosen, tele) {
+            if let Some(m) = realise(dfg, fabric, topo, ii, &chosen, tele) {
                 return Ok(Some(m));
             }
             blocked.push(chosen);
@@ -191,10 +191,10 @@ impl Mapper for IlpMapper {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry, &cfg.ledger) {
+            match self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry, &cfg.ledger) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),

@@ -12,7 +12,7 @@
 use crate::mapping::{Mapping, Placement};
 use crate::route::route_all_with;
 use crate::telemetry::Telemetry;
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::Dfg;
 
 /// Large penalty steps keep the cost lexicographic:
@@ -35,7 +35,7 @@ pub(crate) struct BindingEval {
 fn bf_times(
     dfg: &Dfg,
     fabric: &Fabric,
-    hop: &[Vec<u32>],
+    topo: &TopologyCache,
     pes: &[PeId],
     ii: u32,
     lb: &[u32],
@@ -46,7 +46,7 @@ fn bf_times(
         let mut changed = false;
         for (_, e) in dfg.edges() {
             let lat = fabric.latency_of(dfg.op(e.src)) as i64;
-            let hops = hop[pes[e.src.index()].index()][pes[e.dst.index()].index()] as i64;
+            let hops = topo.hops(pes[e.src.index()], pes[e.dst.index()]) as i64;
             let bound = t[e.src.index()] + lat + hops - (ii as i64) * e.dist as i64;
             if bound > t[e.dst.index()] {
                 t[e.dst.index()] = bound;
@@ -69,7 +69,7 @@ fn bf_times(
 pub(crate) fn legal_schedule(
     dfg: &Dfg,
     fabric: &Fabric,
-    hop: &[Vec<u32>],
+    topo: &TopologyCache,
     pes: &[PeId],
     ii: u32,
 ) -> Option<Vec<u32>> {
@@ -84,7 +84,7 @@ pub(crate) fn legal_schedule(
     }
     let mut lb = vec![0u32; n];
     for _ in 0..(2 * n * ii as usize).max(16) {
-        let times = bf_times(dfg, fabric, hop, pes, ii, &lb)?;
+        let times = bf_times(dfg, fabric, topo, pes, ii, &lb)?;
         // Find the first FU conflict.
         let mut seen: std::collections::HashMap<(PeId, u32), usize> =
             std::collections::HashMap::new();
@@ -118,7 +118,7 @@ pub(crate) fn legal_schedule(
 pub(crate) fn eval_binding(
     dfg: &Dfg,
     fabric: &Fabric,
-    hop: &[Vec<u32>],
+    topo: &TopologyCache,
     pes: &[PeId],
     ii: u32,
 ) -> BindingEval {
@@ -135,9 +135,9 @@ pub(crate) fn eval_binding(
     // Wirelength always contributes (ties broken by shorter wires).
     let wire: u64 = dfg
         .edges()
-        .map(|(_, e)| hop[pes[e.src.index()].index()][pes[e.dst.index()].index()] as u64)
+        .map(|(_, e)| topo.hops(pes[e.src.index()], pes[e.dst.index()]) as u64)
         .sum();
-    match legal_schedule(dfg, fabric, hop, pes, ii) {
+    match legal_schedule(dfg, fabric, topo, pes, ii) {
         Some(times) => {
             let makespan = times.iter().copied().max().unwrap_or(0) as u64;
             BindingEval {
@@ -149,7 +149,7 @@ pub(crate) fn eval_binding(
             // Distinguish "recurrence infeasible" from "conflicts
             // unresolvable" only by magnitude; both need fixing. Count
             // the PE collisions so the search has a gradient.
-            let base = bf_times(dfg, fabric, hop, pes, ii, &vec![0; dfg.node_count()]);
+            let base = bf_times(dfg, fabric, topo, pes, ii, &vec![0; dfg.node_count()]);
             let mut dups = 0u64;
             let mut seen = std::collections::HashMap::new();
             for pe in pes {
@@ -175,6 +175,7 @@ pub(crate) fn eval_binding(
 pub(crate) fn finish_binding(
     dfg: &Dfg,
     fabric: &Fabric,
+    topo: &TopologyCache,
     pes: &[PeId],
     times: &[u32],
     ii: u32,
@@ -185,16 +186,12 @@ pub(crate) fn finish_binding(
         .zip(times)
         .map(|(&pe, &time)| Placement { pe, time })
         .collect();
-    let routes = route_all_with(fabric, dfg, &place, ii, 12, true, tele)?;
+    let routes = route_all_with(fabric, topo, dfg, &place, ii, 12, true, tele)?;
     Some(Mapping { ii, place, routes })
 }
 
 /// Random capability-feasible binding.
-pub(crate) fn random_binding<R: rand::Rng>(
-    dfg: &Dfg,
-    fabric: &Fabric,
-    rng: &mut R,
-) -> Vec<PeId> {
+pub(crate) fn random_binding<R: rand::Rng>(dfg: &Dfg, fabric: &Fabric, rng: &mut R) -> Vec<PeId> {
     dfg.node_ids()
         .map(|n| {
             let op = dfg.op(n);
@@ -222,15 +219,12 @@ mod tests {
     fn legal_schedule_resolves_conflicts() {
         let dfg = kernels::sad();
         let f = Fabric::homogeneous(2, 2, Topology::Mesh);
-        let hop = f.hop_distance();
+        let topo = TopologyCache::build(&f);
         // Everything on pe0/pe1 alternating: guaranteed FU collisions
         // that repair must resolve.
-        let pes: Vec<PeId> = dfg
-            .node_ids()
-            .map(|n| PeId((n.0 % 2) as u16))
-            .collect();
+        let pes: Vec<PeId> = dfg.node_ids().map(|n| PeId((n.0 % 2) as u16)).collect();
         let ii = 4;
-        if let Some(times) = legal_schedule(&dfg, &f, &hop, &pes, ii) {
+        if let Some(times) = legal_schedule(&dfg, &f, &topo, &pes, ii) {
             let mut seen = std::collections::HashSet::new();
             for (i, &t) in times.iter().enumerate() {
                 assert!(seen.insert((pes[i], t % ii)), "collision at op {i}");
@@ -242,16 +236,16 @@ mod tests {
     fn eval_ranks_feasible_below_infeasible() {
         let dfg = kernels::dot_product();
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
-        let hop = f.hop_distance();
+        let topo = TopologyCache::build(&f);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
         let good = random_binding(&dfg, &f, &mut rng);
-        let eval_good = eval_binding(&dfg, &f, &hop, &good, 2);
+        let eval_good = eval_binding(&dfg, &f, &topo, &good, 2);
         // An adversarial binding violating capability on a mul-less fabric.
         let mut f2 = f.clone();
         for c in &mut f2.cells {
             c.mul = false;
         }
-        let eval_bad = eval_binding(&dfg, &f2, &hop, &good, 2);
+        let eval_bad = eval_binding(&dfg, &f2, &topo, &good, 2);
         assert!(eval_bad.cost > eval_good.cost);
     }
 
@@ -259,12 +253,12 @@ mod tests {
     fn finish_binding_round_trips() {
         let dfg = kernels::accumulate();
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
-        let hop = f.hop_distance();
+        let topo = TopologyCache::build(&f);
         // A sane binding: chain on adjacent PEs.
         let pes = vec![PeId(0), PeId(1), PeId(2)];
         let ii = 2;
-        let times = legal_schedule(&dfg, &f, &hop, &pes, ii).unwrap();
-        let m = finish_binding(&dfg, &f, &pes, &times, ii, &Telemetry::off()).unwrap();
+        let times = legal_schedule(&dfg, &f, &topo, &pes, ii).unwrap();
+        let m = finish_binding(&dfg, &f, &topo, &pes, &times, ii, &Telemetry::off()).unwrap();
         crate::validate::validate(&m, &dfg, &f).unwrap();
     }
 }

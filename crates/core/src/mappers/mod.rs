@@ -5,17 +5,16 @@
 //! family ↔ mapper table.
 
 mod bnb;
-pub(crate) mod exact_common;
-pub(crate) mod meta_common;
-pub(crate) mod state;
 mod cp_mapper;
 mod edge_centric;
 mod epimap;
+pub(crate) mod exact_common;
 mod ga;
 mod graph_drawing;
 mod graph_minor;
 mod himap;
 mod ilp_mapper;
+pub(crate) mod meta_common;
 mod modulo_list;
 mod qea;
 mod ramp;
@@ -23,6 +22,7 @@ mod sa;
 mod sat_mapper;
 mod smt_mapper;
 mod spatial_greedy;
+pub(crate) mod state;
 
 pub use bnb::BranchAndBound;
 pub use cp_mapper::CpMapper;

@@ -15,7 +15,7 @@ use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::Fabric;
+use cgra_arch::{Fabric, TopologyCache};
 use cgra_ir::graph;
 use cgra_ir::{Dfg, NodeId, OpKind};
 
@@ -74,13 +74,13 @@ impl ModuloList {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
         let _span = tele.span_ii(Phase::Map, ii);
-        let mut state = SchedState::new(dfg, fabric, ii, hop, tele.clone());
+        let mut state = SchedState::new(dfg, fabric, ii, topo, tele.clone());
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
         let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
@@ -130,14 +130,14 @@ impl Mapper for ModuloList {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let (min_ii, max_ii) = cfg.ii_range(Self::mii(dfg, fabric), fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
 
         match self.ii_search {
             IiSearch::BottomUp => {
                 for ii in min_ii..=max_ii {
                     cfg.ledger.ii_attempt("modulo-list", ii);
-                    if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+                    if let Some(m) = self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry) {
                         cfg.telemetry.bump(Counter::Incumbents);
                         cfg.ledger.incumbent("modulo-list", ii, ii as f64);
                         return Ok(m);
@@ -159,7 +159,7 @@ impl Mapper for ModuloList {
                 while lo <= hi {
                     let mid = lo + (hi - lo) / 2;
                     cfg.ledger.ii_attempt("modulo-list", mid);
-                    match self.try_ii(dfg, fabric, mid, &hop, &budget, &cfg.telemetry) {
+                    match self.try_ii(dfg, fabric, mid, &topo, &budget, &cfg.telemetry) {
                         Some(m) => {
                             cfg.telemetry.bump(Counter::Incumbents);
                             cfg.ledger.incumbent("modulo-list", mid, mid as f64);

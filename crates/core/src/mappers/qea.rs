@@ -52,7 +52,7 @@ impl Mapper for Qea {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         let n = dfg.node_count();
 
@@ -100,7 +100,7 @@ impl Mapper for Qea {
                                 *feasible[i].last().unwrap()
                             })
                             .collect();
-                        let c = eval_binding(dfg, fabric, &hop, &binding, ii).cost;
+                        let c = eval_binding(dfg, fabric, &topo, &binding, ii).cost;
                         cfg.telemetry.bump(Counter::MovesProposed);
                         (c, binding)
                     })
@@ -144,9 +144,9 @@ impl Mapper for Qea {
             }
 
             if let Some((_, binding)) = best {
-                if let Some(times) = legal_schedule(dfg, fabric, &hop, &binding, ii) {
+                if let Some(times) = legal_schedule(dfg, fabric, &topo, &binding, ii) {
                     if let Some(m) =
-                        finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
+                        finish_binding(dfg, fabric, &topo, &binding, &times, ii, &cfg.telemetry)
                     {
                         return Ok(m);
                     }

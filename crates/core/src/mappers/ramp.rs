@@ -11,7 +11,7 @@ use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::Fabric;
+use cgra_arch::{Fabric, TopologyCache};
 use cgra_ir::{graph, Dfg, NodeId, OpKind};
 use std::collections::VecDeque;
 
@@ -39,13 +39,13 @@ impl Ramp {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         budget: &Budget,
         tele: &Telemetry,
     ) -> Option<Mapping> {
         tele.bump(Counter::IiAttempts);
         let _span = tele.span_ii(Phase::Map, ii);
-        let mut state = SchedState::new(dfg, fabric, ii, hop, tele.clone());
+        let mut state = SchedState::new(dfg, fabric, ii, topo, tele.clone());
         let lat = |op: OpKind| fabric.latency_of(op);
         let height = graph::height(dfg, &lat);
         let mut order: Vec<NodeId> = dfg.topo_order().ok()?;
@@ -138,11 +138,11 @@ impl Mapper for Ramp {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
             cfg.ledger.ii_attempt("ramp", ii);
-            if let Some(m) = self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry) {
+            if let Some(m) = self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry) {
                 cfg.telemetry.bump(Counter::Incumbents);
                 cfg.ledger.incumbent("ramp", ii, ii as f64);
                 return Ok(m);

@@ -13,7 +13,7 @@ use crate::engine::Budget;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::Dfg;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -55,7 +55,7 @@ impl SimulatedAnnealing {
         &self,
         dfg: &Dfg,
         fabric: &Fabric,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         ii: u32,
         seed: u64,
         budget: &Budget,
@@ -63,7 +63,7 @@ impl SimulatedAnnealing {
     ) -> Option<(u64, Vec<PeId>)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut binding = random_binding(dfg, fabric, &mut rng);
-        let mut cost = eval_binding(dfg, fabric, hop, &binding, ii).cost;
+        let mut cost = eval_binding(dfg, fabric, topo, &binding, ii).cost;
         let mut best = (cost, binding.clone());
         let n = dfg.node_count();
 
@@ -95,7 +95,7 @@ impl SimulatedAnnealing {
                     let b = rng.random_range(0..n);
                     cand.swap(a, b);
                 }
-                let c = eval_binding(dfg, fabric, hop, &cand, ii).cost;
+                let c = eval_binding(dfg, fabric, topo, &cand, ii).cost;
                 let accept = c <= cost || {
                     let delta = (c - cost) as f64;
                     rng.random::<f64>() < (-delta / temp.max(1e-9)).exp()
@@ -132,7 +132,7 @@ impl Mapper for SimulatedAnnealing {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
 
         for ii in min_ii..=max_ii {
@@ -146,7 +146,7 @@ impl Mapper for SimulatedAnnealing {
                     self.anneal_chain(
                         dfg,
                         fabric,
-                        &hop,
+                        &topo,
                         ii,
                         cfg.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ii as u64,
                         &budget,
@@ -164,9 +164,9 @@ impl Mapper for SimulatedAnnealing {
                 cfg.ledger.incumbent("sa", ii, *c as f64);
             }
             for (_, binding) in champs.into_iter().take(2) {
-                if let Some(times) = legal_schedule(dfg, fabric, &hop, &binding, ii) {
+                if let Some(times) = legal_schedule(dfg, fabric, &topo, &binding, ii) {
                     if let Some(m) =
-                        finish_binding(dfg, fabric, &binding, &times, ii, &cfg.telemetry)
+                        finish_binding(dfg, fabric, &topo, &binding, &times, ii, &cfg.telemetry)
                     {
                         return Ok(m);
                     }

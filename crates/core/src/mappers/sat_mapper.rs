@@ -15,7 +15,7 @@ use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::Dfg;
 use cgra_solver::cnf::{at_most_one, exactly_one, AmoEncoding};
 use cgra_solver::{Lit, SatResult, SatSolver};
@@ -51,7 +51,7 @@ impl SatMapper {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         budget: &Budget,
         tele: &Telemetry,
         ledger: &Ledger,
@@ -100,7 +100,7 @@ impl SatMapper {
                     if e.src == e.dst && ka != kb {
                         continue; // self edge: same position both sides
                     }
-                    if edge_compatible(fabric, hop, ii, src_op, e.dist, a, b) {
+                    if edge_compatible(fabric, topo, ii, src_op, e.dist, a, b) {
                         clause.push(vars[e.dst.index()][kb]);
                     }
                 }
@@ -135,7 +135,7 @@ impl SatMapper {
                                 ps[k]
                             })
                             .collect();
-                        if let Some(m) = realise(dfg, fabric, ii, &chosen, tele) {
+                        if let Some(m) = realise(dfg, fabric, topo, ii, &chosen, tele) {
                             break 'cegar Ok(Some(m));
                         }
                         // Block this exact placement.
@@ -173,10 +173,10 @@ impl Mapper for SatMapper {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &hop, &budget, &cfg.telemetry, &cfg.ledger) {
+            match self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry, &cfg.ledger) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),

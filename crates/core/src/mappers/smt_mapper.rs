@@ -20,7 +20,7 @@ use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::route::route_all_with;
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::{graph, Dfg, OpKind};
 use cgra_solver::{Lit, SmtResult, SmtSolver};
 
@@ -45,7 +45,7 @@ impl SmtMapper {
         dfg: &Dfg,
         fabric: &Fabric,
         horizon: u32,
-        hop: &[Vec<u32>],
+        topo: &TopologyCache,
         budget: &Budget,
         tele: &Telemetry,
         ledger: &Ledger,
@@ -106,7 +106,7 @@ impl SmtMapper {
                     if e.src == e.dst && i != j {
                         continue;
                     }
-                    let h = hop[p1.index()][p2.index()] as i64;
+                    let h = topo.hops(p1, p2) as i64;
                     // t_src - t_dst ≤ II·d − lat − hop
                     let c = slack_gain - lat - h;
                     if e.src == e.dst {
@@ -167,7 +167,7 @@ impl SmtMapper {
                     chosen.push(crate::mapping::Placement { pe, time: t });
                 }
                 let ii = horizon.min(fabric.context_depth);
-                let routes = route_all_with(fabric, dfg, &chosen, ii, 12, true, tele);
+                let routes = route_all_with(fabric, topo, dfg, &chosen, ii, 12, true, tele);
                 match routes {
                     Some(routes) => Ok(Some(Mapping {
                         ii,
@@ -196,12 +196,12 @@ impl Mapper for SmtMapper {
         let lat = |op: OpKind| fabric.latency_of(op);
         let cp = graph::critical_path(dfg, &lat).max(1);
         let budget = cfg.run_budget();
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
 
         let mut horizon = cp.max(cfg.min_ii);
         for _ in 0..self.max_probes.max(1) {
             let h = horizon.min(fabric.context_depth);
-            match self.try_horizon(dfg, fabric, h, &hop, &budget, &cfg.telemetry, &cfg.ledger) {
+            match self.try_horizon(dfg, fabric, h, &topo, &budget, &cfg.telemetry, &cfg.ledger) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),

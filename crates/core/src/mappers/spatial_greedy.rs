@@ -10,7 +10,7 @@ use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::{Mapping, Placement};
 use crate::route::route_all_with;
 use crate::telemetry::{Counter, Telemetry};
-use cgra_arch::{Fabric, PeId};
+use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::{Dfg, NodeId};
 
 /// BFS placement: operations in topological order grab the nearest
@@ -28,7 +28,7 @@ pub struct SpatialGreedy {
 pub(crate) fn schedule_times(
     dfg: &Dfg,
     fabric: &Fabric,
-    hop: &[Vec<u32>],
+    topo: &TopologyCache,
     pes: &[PeId],
     ii: u32,
 ) -> Option<Vec<u32>> {
@@ -38,7 +38,7 @@ pub(crate) fn schedule_times(
         let mut changed = false;
         for (_, e) in dfg.edges() {
             let lat = fabric.latency_of(dfg.op(e.src)) as i64;
-            let hops = hop[pes[e.src.index()].index()][pes[e.dst.index()].index()] as i64;
+            let hops = topo.hops(pes[e.src.index()], pes[e.dst.index()]) as i64;
             let lb = t[e.src.index()] + lat + hops - (ii as i64) * e.dist as i64;
             if lb > t[e.dst.index()] {
                 t[e.dst.index()] = lb;
@@ -62,18 +62,18 @@ pub(crate) fn schedule_times(
 pub(crate) fn finish_spatial(
     dfg: &Dfg,
     fabric: &Fabric,
-    hop: &[Vec<u32>],
+    topo: &TopologyCache,
     pes: &[PeId],
     negotiated: bool,
     tele: &Telemetry,
 ) -> Option<Mapping> {
-    let times = schedule_times(dfg, fabric, hop, pes, 1)?;
+    let times = schedule_times(dfg, fabric, topo, pes, 1)?;
     let place: Vec<Placement> = pes
         .iter()
         .zip(&times)
         .map(|(&pe, &time)| Placement { pe, time })
         .collect();
-    let routes = route_all_with(fabric, dfg, &place, 1, 12, negotiated, tele)?;
+    let routes = route_all_with(fabric, topo, dfg, &place, 1, 12, negotiated, tele)?;
     Some(Mapping {
         ii: 1,
         place,
@@ -104,7 +104,7 @@ impl Mapper for SpatialGreedy {
                 fabric.num_pes()
             )));
         }
-        let hop = fabric.hop_distance();
+        let topo = cfg.topo_for(fabric);
         let order = dfg
             .topo_order()
             .map_err(|n| MapError::Unsupported(format!("zero-distance cycle at {n}")))?;
@@ -121,13 +121,13 @@ impl Mapper for SpatialGreedy {
                     let mut any = false;
                     for (_, e) in dfg.in_edges(n) {
                         if let Some(p) = pes[e.src.index()] {
-                            cost += hop[p.index()][pe.index()];
+                            cost += topo.hops(p, pe);
                             any = true;
                         }
                     }
                     // Sources anchor near the border (I/O side) centre.
                     if !any {
-                        cost = hop[0][pe.index()];
+                        cost = topo.hops(PeId(0), pe);
                     }
                     (cost, pe.0)
                 });
@@ -140,8 +140,15 @@ impl Mapper for SpatialGreedy {
             }
         }
         let pes: Vec<PeId> = pes.into_iter().map(|p| p.unwrap()).collect();
-        let m = finish_spatial(dfg, fabric, &hop, &pes, !self.plain_routing, &cfg.telemetry)
-            .ok_or_else(|| MapError::Infeasible("binding found but routing failed".into()))?;
+        let m = finish_spatial(
+            dfg,
+            fabric,
+            &topo,
+            &pes,
+            !self.plain_routing,
+            &cfg.telemetry,
+        )
+        .ok_or_else(|| MapError::Infeasible("binding found but routing failed".into()))?;
         cfg.telemetry.bump(Counter::Incumbents);
         cfg.ledger.incumbent("spatial-greedy", m.ii, m.ii as f64);
         Ok(m)
@@ -208,13 +215,13 @@ mod tests {
     fn schedule_times_respects_hops() {
         let dfg = kernels::horner4();
         let f = mesh();
-        let hop = f.hop_distance();
+        let topo = TopologyCache::build(&f);
         // Everything on one diagonal-ish walk of distinct PEs.
         let pes: Vec<PeId> = (0..dfg.node_count() as u16).map(PeId).collect();
-        let times = schedule_times(&dfg, &f, &hop, &pes, 1).unwrap();
+        let times = schedule_times(&dfg, &f, &topo, &pes, 1).unwrap();
         for (_, e) in dfg.edges() {
             let lat = f.latency_of(dfg.op(e.src));
-            let h = hop[pes[e.src.index()].index()][pes[e.dst.index()].index()];
+            let h = topo.hops(pes[e.src.index()], pes[e.dst.index()]);
             assert!(
                 times[e.dst.index()] + e.dist >= times[e.src.index()] + lat + h,
                 "edge violated"
@@ -232,9 +239,9 @@ mod tests {
         dfg.connect(a, b, 0);
         dfg.connect_carried(b, a, 0, 1, vec![0]);
         let f = mesh();
-        let hop = f.hop_distance();
+        let topo = TopologyCache::build(&f);
         // a at pe0, b at pe15: cycle latency 2 + hops 12 > d=1 at II=1.
-        let times = schedule_times(&dfg, &f, &hop, &[PeId(0), PeId(15)], 1);
+        let times = schedule_times(&dfg, &f, &topo, &[PeId(0), PeId(15)], 1);
         assert!(times.is_none());
         // Adjacent PEs still fail (cycle latency 2 + 2 hops > 1) —
         // same-PE placement is impossible spatially, so this DFG is

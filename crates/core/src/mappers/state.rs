@@ -8,9 +8,9 @@
 //! leaves the state untouched.
 
 use crate::mapping::{Mapping, Placement, Route};
-use crate::route::{find_route, RouteOpts};
+use crate::route::{find_route_with, RouteOpts, RouterScratch};
 use crate::telemetry::{Counter, Phase, Telemetry};
-use cgra_arch::{Fabric, PeId, SpaceTime};
+use cgra_arch::{Fabric, PeId, SpaceTime, TopologyCache};
 use cgra_ir::{Dfg, EdgeId, NodeId};
 use std::collections::HashSet;
 
@@ -18,11 +18,13 @@ pub(crate) struct SchedState<'a> {
     pub dfg: &'a Dfg,
     pub fabric: &'a Fabric,
     pub ii: u32,
-    pub hop: &'a [Vec<u32>],
+    pub topo: &'a TopologyCache,
     pub place: Vec<Option<Placement>>,
     pub routes: Vec<Option<Route>>,
     pub st: SpaceTime,
     pub tele: Telemetry,
+    /// Router buffers reused across every `try_place` route search.
+    scratch: RouterScratch,
 }
 
 impl<'a> SchedState<'a> {
@@ -30,18 +32,19 @@ impl<'a> SchedState<'a> {
         dfg: &'a Dfg,
         fabric: &'a Fabric,
         ii: u32,
-        hop: &'a [Vec<u32>],
+        topo: &'a TopologyCache,
         tele: Telemetry,
     ) -> Self {
         SchedState {
             dfg,
             fabric,
             ii,
-            hop,
+            topo,
             place: vec![None; dfg.node_count()],
             routes: vec![None; dfg.edge_count()],
             st: SpaceTime::new(fabric, ii),
             tele,
+            scratch: RouterScratch::new(),
         }
     }
 
@@ -146,8 +149,9 @@ impl<'a> SchedState<'a> {
                 }
             }
             self.tele.bump(Counter::RoutingCalls);
-            match find_route(
+            match find_route_with(
                 self.fabric,
+                self.topo,
                 &trial,
                 sp.pe,
                 tr,
@@ -156,6 +160,7 @@ impl<'a> SchedState<'a> {
                 &shared,
                 None,
                 RouteOpts::default(),
+                &mut self.scratch,
             ) {
                 Some(r) => {
                     for (i, &p2) in r.steps.iter().enumerate() {
@@ -236,13 +241,13 @@ impl<'a> SchedState<'a> {
                 let mut cost = 0u32;
                 for (_, e) in self.dfg.in_edges(n) {
                     if let Some(p) = self.place[e.src.index()] {
-                        cost += self.hop[p.pe.index()][pe.index()];
+                        cost += self.topo.hops(p.pe, pe);
                     }
                 }
                 for (_, e) in self.dfg.out_edges(n) {
                     if e.src != e.dst {
                         if let Some(p) = self.place[e.dst.index()] {
-                            cost += self.hop[pe.index()][p.pe.index()];
+                            cost += self.topo.hops(pe, p.pe);
                         }
                     }
                 }

@@ -179,11 +179,7 @@ impl Mapping {
                         .enumerate()
                         .find(|(_, p)| p.pe == pe && p.time % self.ii == slot)
                         .map(|(i, p)| {
-                            format!(
-                                "{:>5}@{}",
-                                dfg.op(NodeId(i as u32)).mnemonic(),
-                                p.time
-                            )
+                            format!("{:>5}@{}", dfg.op(NodeId(i as u32)).mnemonic(), p.time)
                         })
                         .unwrap_or_else(|| "    .  ".into());
                     row.push_str(&format!("[{op:^9}]"));
@@ -227,9 +223,18 @@ mod tests {
         let e2 = dfg.connect(a, n2, 0);
         let fabric = Fabric::homogeneous(2, 2, Topology::Mesh);
         let mut m = Mapping::empty(&dfg, 4);
-        m.place[a.index()] = Placement { pe: PeId(0), time: 0 };
-        m.place[n1.index()] = Placement { pe: PeId(1), time: 2 };
-        m.place[n2.index()] = Placement { pe: PeId(1), time: 3 };
+        m.place[a.index()] = Placement {
+            pe: PeId(0),
+            time: 0,
+        };
+        m.place[n1.index()] = Placement {
+            pe: PeId(1),
+            time: 2,
+        };
+        m.place[n2.index()] = Placement {
+            pe: PeId(1),
+            time: 3,
+        };
         m.routes[e1.index()] = Route {
             start_time: 1,
             steps: vec![PeId(0), PeId(1)],
@@ -264,7 +269,10 @@ mod tests {
         let dfg = kernels::dot_product();
         let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
         let mut m = Mapping::empty(&dfg, 2);
-        m.place[2] = Placement { pe: PeId(3), time: 5 }; // the Mul
+        m.place[2] = Placement {
+            pe: PeId(3),
+            time: 5,
+        }; // the Mul
         assert_eq!(m.schedule_len(&dfg, &fabric), 6);
     }
 

@@ -55,10 +55,7 @@ pub fn memory_trace(
 ) -> Result<HashMap<NodeId, Vec<Value>>, cgra_ir::InterpError> {
     // Probe: add an Output per memory op's *address* operand source.
     let mut probe = dfg.clone();
-    let mem_ops: Vec<NodeId> = dfg
-        .node_ids()
-        .filter(|&n| dfg.op(n).is_memory())
-        .collect();
+    let mem_ops: Vec<NodeId> = dfg.node_ids().filter(|&n| dfg.op(n).is_memory()).collect();
     let mut stream = probe
         .node_ids()
         .filter_map(|id| match probe.op(id) {
@@ -68,6 +65,7 @@ pub fn memory_trace(
         .max()
         .unwrap_or(0);
     let mut probe_streams = Vec::new();
+    #[allow(clippy::explicit_counter_loop)] // `stream` continues past existing outputs
     for &m in &mem_ops {
         let addr_src = dfg.operand(m, 0).expect("validated").1.src;
         let o = probe.add_node(OpKind::Output(stream));
@@ -107,6 +105,7 @@ pub fn bank_conflicts(
         if ops.len() < 2 {
             continue;
         }
+        #[allow(clippy::needless_range_loop)] // reads every op's trace at iteration `it`
         for it in 0..iters {
             let mut per_bank: HashMap<u32, u32> = HashMap::new();
             for &op in ops {
@@ -350,7 +349,9 @@ mod tests {
     fn no_memory_ops_no_stalls() {
         let dfg = kernels::dot_product();
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
-        let m = ModuloList::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let m = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
         let report = bank_conflicts(&dfg, &m, &HashMap::new(), 4, BankPolicy::Interleaved);
         assert_eq!(report.stalls, 0);
     }

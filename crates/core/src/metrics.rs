@@ -65,14 +65,32 @@ mod tests {
         let m = Mapping {
             ii: 1,
             place: vec![
-                Placement { pe: PeId(0), time: 0 },
-                Placement { pe: PeId(1), time: 2 },
-                Placement { pe: PeId(2), time: 4 },
+                Placement {
+                    pe: PeId(0),
+                    time: 0,
+                },
+                Placement {
+                    pe: PeId(1),
+                    time: 2,
+                },
+                Placement {
+                    pe: PeId(2),
+                    time: 4,
+                },
             ],
             routes: vec![
-                Route { start_time: 1, steps: vec![PeId(0), PeId(1)] },
-                Route { start_time: 3, steps: vec![PeId(1)] },
-                Route { start_time: 3, steps: vec![PeId(1), PeId(2)] },
+                Route {
+                    start_time: 1,
+                    steps: vec![PeId(0), PeId(1)],
+                },
+                Route {
+                    start_time: 3,
+                    steps: vec![PeId(1)],
+                },
+                Route {
+                    start_time: 3,
+                    steps: vec![PeId(1), PeId(2)],
+                },
             ],
         };
         crate::validate::validate(&m, &dfg, &f).unwrap();

@@ -123,12 +123,12 @@ impl MapperRegistry {
 
     /// Construct the named mapper, or an error listing valid names.
     pub fn build(&self, name: &str) -> Result<Box<dyn Mapper>, UnknownMapper> {
-        self.get(name).map(MapperSpec::build).ok_or_else(|| {
-            UnknownMapper {
+        self.get(name)
+            .map(MapperSpec::build)
+            .ok_or_else(|| UnknownMapper {
                 requested: name.to_string(),
                 valid: self.names(),
-            }
-        })
+            })
     }
 
     /// Construct every mapper (the Table I experiment portfolio).

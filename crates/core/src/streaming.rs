@@ -148,9 +148,7 @@ fn partition(fabric: &Fabric, sizes: &[usize]) -> Option<Vec<Region>> {
             return None;
         }
         let ideal = ((s as f64 / total as f64) * fabric.cols as f64).round() as u16;
-        let width = ideal
-            .max(1)
-            .min(remaining_cols - (remaining_actors - 1));
+        let width = ideal.max(1).min(remaining_cols - (remaining_actors - 1));
         regions.push(Region {
             col_lo: col,
             col_hi: col + width - 1,
@@ -173,10 +171,7 @@ fn sub_fabric(fabric: &Fabric, region: &Region) -> Fabric {
     f.name = format!("{}_cols{}to{}", fabric.name, region.col_lo, region.col_hi);
     f.cols = cols;
     f.cells = (0..fabric.rows)
-        .flat_map(|r| {
-            (region.col_lo..=region.col_hi)
-                .map(move |c| (r, c))
-        })
+        .flat_map(|r| (region.col_lo..=region.col_hi).map(move |c| (r, c)))
         .map(|(r, c)| fabric.cells[fabric.pe_at(r, c).index()])
         .collect();
     f.io_policy = cgra_arch::IoPolicy::Anywhere;
@@ -214,8 +209,7 @@ pub fn map_streaming(
         let m = mapper.map(actor, &sub, cfg).map_err(|e| {
             MapError::Infeasible(format!(
                 "actor `{}` failed in its {}-column region: {e}",
-                actor.name,
-                sub.cols
+                actor.name, sub.cols
             ))
         })?;
         crate::validate::validate(&m, actor, &sub)
@@ -253,8 +247,7 @@ pub fn run_streaming(
             .unwrap_or(0);
         let mut inputs = vec![vec![0; iters]; in_streams];
         for c in sdf.channels.iter().filter(|c| c.to_actor == actor) {
-            inputs[c.to_stream as usize] =
-                outputs[c.from_actor][c.from_stream as usize].clone();
+            inputs[c.to_stream as usize] = outputs[c.from_actor][c.from_stream as usize].clone();
         }
         for (&(a, s), vals) in external {
             if a == actor {

@@ -4,7 +4,7 @@
 //! asserts exactly this.
 
 use crate::mapping::Mapping;
-use cgra_arch::{Fabric, PeId, SpaceTime};
+use cgra_arch::{Fabric, PeId, SpaceTime, TopologyCache};
 use cgra_ir::{Dfg, EdgeId, NodeId};
 use std::collections::HashMap;
 use std::fmt;
@@ -21,14 +21,28 @@ pub enum ValidationError {
     /// An op is placed on a PE that cannot execute it.
     UnsupportedOp { node: NodeId, pe: PeId },
     /// Two ops issue on the same PE in the same modulo slot.
-    FuConflict { a: NodeId, b: NodeId, pe: PeId, slot: u32 },
+    FuConflict {
+        a: NodeId,
+        b: NodeId,
+        pe: PeId,
+        slot: u32,
+    },
     /// A route is empty, starts/ends at the wrong place or time, or
     /// makes an illegal move.
     BadRoute { edge: EdgeId, why: String },
     /// The consumer issues before the producer's value is ready.
-    LatencyViolation { edge: EdgeId, ready: u32, consume: u32 },
+    LatencyViolation {
+        edge: EdgeId,
+        ready: u32,
+        consume: u32,
+    },
     /// Register over-subscription at a (pe, slot).
-    RegisterOverflow { pe: PeId, slot: u32, used: u32, capacity: u32 },
+    RegisterOverflow {
+        pe: PeId,
+        slot: u32,
+        used: u32,
+        capacity: u32,
+    },
     /// A spatial mapping (II = 1 one-op-per-PE contract) was promised
     /// but violated.
     NotSpatial,
@@ -49,12 +63,21 @@ impl fmt::Display for ValidationError {
                 write!(f, "ops {a} and {b} both issue on {pe} slot {slot}")
             }
             ValidationError::BadRoute { edge, why } => write!(f, "edge e{}: {why}", edge.0),
-            ValidationError::LatencyViolation { edge, ready, consume } => write!(
+            ValidationError::LatencyViolation {
+                edge,
+                ready,
+                consume,
+            } => write!(
                 f,
                 "edge e{}: consumed at {consume} before ready at {ready}",
                 edge.0
             ),
-            ValidationError::RegisterOverflow { pe, slot, used, capacity } => {
+            ValidationError::RegisterOverflow {
+                pe,
+                slot,
+                used,
+                capacity,
+            } => {
                 write!(f, "{pe} slot {slot}: {used} values > {capacity} registers")
             }
             ValidationError::NotSpatial => write!(f, "mapping violates the spatial contract"),
@@ -69,7 +92,21 @@ impl std::error::Error for ValidationError {}
 /// exclusivity modulo II, route integrity (endpoints, adjacency,
 /// timing), dependence latency, and register capacity with fan-out
 /// sharing.
+///
+/// Builds a throwaway [`TopologyCache`] for the adjacency checks;
+/// callers that already hold one should use [`validate_with`].
 pub fn validate(mapping: &Mapping, dfg: &Dfg, fabric: &Fabric) -> Result<(), ValidationError> {
+    let topo = TopologyCache::build(fabric);
+    validate_with(mapping, dfg, fabric, &topo)
+}
+
+/// [`validate`] with a caller-supplied topology cache (no rebuild).
+pub fn validate_with(
+    mapping: &Mapping,
+    dfg: &Dfg,
+    fabric: &Fabric,
+    topo: &TopologyCache,
+) -> Result<(), ValidationError> {
     dfg.validate()
         .map_err(|e| ValidationError::BadDfg(e.to_string()))?;
     if mapping.place.len() != dfg.node_count() || mapping.routes.len() != dfg.edge_count() {
@@ -131,11 +168,7 @@ pub fn validate(mapping: &Mapping, dfg: &Dfg, fabric: &Fabric) -> Result<(), Val
         if r.steps.len() as u32 != tc - tr + 1 {
             return Err(ValidationError::BadRoute {
                 edge: eid,
-                why: format!(
-                    "covers {} cycles, needs {}",
-                    r.steps.len(),
-                    tc - tr + 1
-                ),
+                why: format!("covers {} cycles, needs {}", r.steps.len(), tc - tr + 1),
             });
         }
         if r.steps[0] != mapping.placement(edge.src).pe {
@@ -151,7 +184,7 @@ pub fn validate(mapping: &Mapping, dfg: &Dfg, fabric: &Fabric) -> Result<(), Val
             });
         }
         for w in r.steps.windows(2) {
-            if w[0] != w[1] && !fabric.neighbors(w[0]).contains(&w[1]) {
+            if w[0] != w[1] && !topo.adjacent(w[0], w[1]) {
                 return Err(ValidationError::BadRoute {
                     edge: eid,
                     why: format!("illegal move {} -> {}", w[0], w[1]),
@@ -212,18 +245,40 @@ mod tests {
         // n0 in@pe0,t0 ; n1 add@pe1,t2 ; n2 out@pe2,t4 — one cycle per
         // hop between neighbouring PEs.
         let place = vec![
-            Placement { pe: PeId(0), time: 0 },
-            Placement { pe: PeId(1), time: 2 },
-            Placement { pe: PeId(2), time: 4 },
+            Placement {
+                pe: PeId(0),
+                time: 0,
+            },
+            Placement {
+                pe: PeId(1),
+                time: 2,
+            },
+            Placement {
+                pe: PeId(2),
+                time: 4,
+            },
         ];
         // Edges in builder order: in->add(p0), add->add carried(p1), add->out.
         let routes = vec![
-            Route { start_time: 1, steps: vec![PeId(0), PeId(1)] },
+            Route {
+                start_time: 1,
+                steps: vec![PeId(0), PeId(1)],
+            },
             // ready at 3, consumed at 2 + ii*1 = 3 (ii=1): single step.
-            Route { start_time: 3, steps: vec![PeId(1)] },
-            Route { start_time: 3, steps: vec![PeId(1), PeId(2)] },
+            Route {
+                start_time: 3,
+                steps: vec![PeId(1)],
+            },
+            Route {
+                start_time: 3,
+                steps: vec![PeId(1), PeId(2)],
+            },
         ];
-        let m = Mapping { ii: 1, place, routes };
+        let m = Mapping {
+            ii: 1,
+            place,
+            routes,
+        };
         (dfg, f, m)
     }
 
@@ -238,7 +293,10 @@ mod tests {
     #[test]
     fn fu_conflict_detected() {
         let (dfg, f, mut m) = valid_acc_mapping();
-        m.place[2] = Placement { pe: PeId(1), time: 3 }; // same PE slot (ii=1)
+        m.place[2] = Placement {
+            pe: PeId(1),
+            time: 3,
+        }; // same PE slot (ii=1)
         let err = validate(&m, &dfg, &f).unwrap_err();
         assert!(matches!(err, ValidationError::FuConflict { .. }));
     }
@@ -266,11 +324,26 @@ mod tests {
         // Place the mul on an odd (non-multiplier) column PE; other ops
         // on distinct border PEs so the capability error fires first.
         let mut m = Mapping::empty(&dfg, 4);
-        m.place[0] = Placement { pe: f.pe_at(0, 0), time: 0 };
-        m.place[1] = Placement { pe: f.pe_at(0, 1), time: 0 };
-        m.place[2] = Placement { pe: f.pe_at(1, 1), time: 0 };
-        m.place[3] = Placement { pe: f.pe_at(0, 2), time: 0 };
-        m.place[4] = Placement { pe: f.pe_at(0, 3), time: 0 };
+        m.place[0] = Placement {
+            pe: f.pe_at(0, 0),
+            time: 0,
+        };
+        m.place[1] = Placement {
+            pe: f.pe_at(0, 1),
+            time: 0,
+        };
+        m.place[2] = Placement {
+            pe: f.pe_at(1, 1),
+            time: 0,
+        };
+        m.place[3] = Placement {
+            pe: f.pe_at(0, 2),
+            time: 0,
+        };
+        m.place[4] = Placement {
+            pe: f.pe_at(0, 3),
+            time: 0,
+        };
         let err = validate(&m, &dfg, &f).unwrap_err();
         assert!(matches!(err, ValidationError::UnsupportedOp { .. }));
     }
@@ -279,7 +352,10 @@ mod tests {
     fn latency_violation_detected() {
         let (dfg, f, mut m) = valid_acc_mapping();
         // Move consumer of edge 0 to time 0: consumed before ready.
-        m.place[1] = Placement { pe: PeId(1), time: 0 };
+        m.place[1] = Placement {
+            pe: PeId(1),
+            time: 0,
+        };
         let err = validate(&m, &dfg, &f).unwrap_err();
         // Either a latency violation on the input edge or a bad route
         // shape — the first failure reported must be the latency one
@@ -303,13 +379,24 @@ mod tests {
     fn route_teleport_detected() {
         let (dfg, f, mut m) = valid_acc_mapping();
         // pe0 -> pe5 is a diagonal: not a mesh neighbour.
-        m.place[1] = Placement { pe: PeId(5), time: 2 };
+        m.place[1] = Placement {
+            pe: PeId(5),
+            time: 2,
+        };
         m.routes[0].steps = vec![PeId(0), PeId(5)];
         m.routes[1].steps = vec![PeId(5)];
-        m.routes[2] = Route { start_time: 3, steps: vec![PeId(5), PeId(1)] };
-        m.place[2] = Placement { pe: PeId(1), time: 4 };
+        m.routes[2] = Route {
+            start_time: 3,
+            steps: vec![PeId(5), PeId(1)],
+        };
+        m.place[2] = Placement {
+            pe: PeId(1),
+            time: 4,
+        };
         let err = validate(&m, &dfg, &f).unwrap_err();
-        assert!(matches!(err, ValidationError::BadRoute { why, .. } if why.contains("illegal move")));
+        assert!(
+            matches!(err, ValidationError::BadRoute { why, .. } if why.contains("illegal move"))
+        );
     }
 
     #[test]
@@ -327,13 +414,28 @@ mod tests {
         let m = Mapping {
             ii: 4,
             place: vec![
-                Placement { pe: PeId(0), time: 0 },
-                Placement { pe: PeId(2), time: 0 },
-                Placement { pe: PeId(1), time: 2 },
+                Placement {
+                    pe: PeId(0),
+                    time: 0,
+                },
+                Placement {
+                    pe: PeId(2),
+                    time: 0,
+                },
+                Placement {
+                    pe: PeId(1),
+                    time: 2,
+                },
             ],
             routes: vec![
-                Route { start_time: 1, steps: vec![PeId(0), PeId(1)] },
-                Route { start_time: 1, steps: vec![PeId(2), PeId(1)] },
+                Route {
+                    start_time: 1,
+                    steps: vec![PeId(0), PeId(1)],
+                },
+                Route {
+                    start_time: 1,
+                    steps: vec![PeId(2), PeId(1)],
+                },
             ],
         };
         let err = validate(&m, &dfg, &f).unwrap_err();
@@ -358,8 +460,7 @@ mod tests {
             })
             .collect();
         let ii = 8;
-        let routes = crate::route::route_all(&f, &dfg, &place, ii, 8, true)
-            .expect("routable");
+        let routes = crate::route::route_all(&f, &dfg, &place, ii, 8, true).expect("routable");
         let m = Mapping { ii, place, routes };
         validate(&m, &dfg, &f).unwrap();
     }

@@ -6,20 +6,27 @@ use cgra_mapper_core::prelude::*;
 fn dbg_fir4() {
     let dfg = kernels::fir(4);
     let f = Fabric::homogeneous(4, 4, Topology::Mesh);
-    let m = ModuloList::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+    let m = ModuloList::default()
+        .map(&dfg, &f, &MapConfig::fast())
+        .unwrap();
     for (i, p) in m.place.iter().enumerate() {
         println!("n{i} {:?} op={}", p, dfg.op(cgra_ir::NodeId(i as u32)));
     }
     for (eid, e) in dfg.edges() {
         let r = &m.routes[eid.index()];
-        println!("e{} {}->{} port{} dist{} start{} steps{:?}", eid.0, e.src, e.dst, e.port, e.dist, r.start_time, r.steps);
+        println!(
+            "e{} {}->{} port{} dist{} start{} steps{:?}",
+            eid.0, e.src, e.dst, e.port, e.dist, r.start_time, r.steps
+        );
     }
     println!("ii={}", m.ii);
     let st = m.occupancy(&dfg, &f);
     for pe in f.pe_ids() {
         for slot in 0..m.ii {
             let c = st.reg_count(pe, slot);
-            if c > f.rf_size { println!("OVER {pe} slot {slot}: {c}"); }
+            if c > f.rf_size {
+                println!("OVER {pe} slot {slot}: {c}");
+            }
         }
     }
     validate(&m, &dfg, &f).unwrap();

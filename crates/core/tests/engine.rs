@@ -5,12 +5,12 @@
 //! forwarded into the solver engines), racing must yield a validated
 //! winner, and a cancelled run must never surface an invalid mapping.
 
+use cgra_arch::{Fabric, Topology};
+use cgra_ir::kernels;
 use cgra_mapper_core::engine::{race, Budget};
 use cgra_mapper_core::registry::MapperRegistry;
 use cgra_mapper_core::validate::validate;
 use cgra_mapper_core::{MapConfig, MapError, Metrics};
-use cgra_arch::{Fabric, Topology};
-use cgra_ir::kernels;
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -128,9 +128,10 @@ fn race_smoke_stays_within_budget() {
             wall.as_millis(),
             budget.as_millis()
         );
-        let m = out.mapping.as_ref().unwrap_or_else(|| {
-            panic!("{}: no winner: {:?}", dfg.name, out.entries)
-        });
+        let m = out
+            .mapping
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no winner: {:?}", dfg.name, out.entries));
         validate(m, &dfg, &fabric).unwrap();
         let metrics = Metrics::of(m, &dfg, &fabric);
         assert!(metrics.ii >= 1);
@@ -150,7 +151,7 @@ fn race_smoke_stays_within_budget() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     /// A run whose budget is cancelled — before it starts or while it
     /// runs — either fails with a typed error or returns a mapping

@@ -114,7 +114,7 @@ fn race_timeline_is_complete() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 16 })]
 
     /// Ledger causality under real racing: timestamps are monotone in
     /// journal order, and any RaceWin is preceded by the matching

@@ -85,6 +85,10 @@ pub struct LoopInfo {
     pub blocks: Vec<BlockId>,
 }
 
+/// What [`Cdfg::execute`] yields: the final variable environment, the
+/// memory image, and the `(stream, value)` output log in issue order.
+pub type ExecOutcome = (HashMap<String, Value>, Vec<Value>, Vec<(u32, Value)>);
+
 /// A control-data-flow graph.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cdfg {
@@ -388,7 +392,7 @@ impl Cdfg {
         mut env: HashMap<String, Value>,
         mut memory: Vec<Value>,
         step_limit: usize,
-    ) -> Result<(HashMap<String, Value>, Vec<Value>, Vec<(u32, Value)>), CdfgError> {
+    ) -> Result<ExecOutcome, CdfgError> {
         use crate::op::OpKind;
         self.validate()?;
         let mut outputs: Vec<(u32, Value)> = Vec::new();
@@ -396,13 +400,10 @@ impl Cdfg {
         for _ in 0..step_limit {
             let bb = self.block(cur);
             // Evaluate the block DFG once.
-            let order = bb
-                .dfg
-                .topo_order()
-                .map_err(|n| CdfgError::BadBlockDfg {
-                    block: cur,
-                    msg: format!("cycle at {n}"),
-                })?;
+            let order = bb.dfg.topo_order().map_err(|n| CdfgError::BadBlockDfg {
+                block: cur,
+                msg: format!("cycle at {n}"),
+            })?;
             let mut vals = vec![0 as Value; bb.dfg.node_count()];
             for id in order {
                 let op = bb.dfg.op(id);
@@ -411,12 +412,13 @@ impl Cdfg {
                     .collect();
                 vals[id.index()] = match op {
                     OpKind::Input(i) => {
-                        let var = bb.params.get(i as usize).ok_or_else(|| {
-                            CdfgError::BadBlockDfg {
-                                block: cur,
-                                msg: format!("Input({i}) beyond params"),
-                            }
-                        })?;
+                        let var =
+                            bb.params
+                                .get(i as usize)
+                                .ok_or_else(|| CdfgError::BadBlockDfg {
+                                    block: cur,
+                                    msg: format!("Input({i}) beyond params"),
+                                })?;
                         *env.get(var).ok_or_else(|| CdfgError::UnboundVariable {
                             block: cur,
                             var: var.clone(),
@@ -542,7 +544,7 @@ mod tests {
         let mut env = HashMap::new();
         env.insert("n".to_string(), 5);
         let (env, _, _) = c.execute(env, vec![], 1000).unwrap();
-        assert_eq!(env["sum"], 0 + 1 + 2 + 3 + 4);
+        assert_eq!(env["sum"], 1 + 2 + 3 + 4);
         assert_eq!(env["i"], 5);
     }
 

@@ -78,7 +78,11 @@ pub enum DfgError {
     /// An operand port is driven by more than one edge.
     DuplicateOperand { node: NodeId, port: u8 },
     /// An edge targets a port beyond the operation's arity.
-    PortOutOfRange { edge: EdgeId, port: u8, arity: usize },
+    PortOutOfRange {
+        edge: EdgeId,
+        port: u8,
+        arity: usize,
+    },
     /// `init.len() != dist` on a carried edge.
     BadInit { edge: EdgeId, dist: u32, got: usize },
     /// The distance-0 subgraph contains a cycle (an unbreakable
@@ -100,7 +104,11 @@ impl fmt::Display for DfgError {
                 write!(f, "node {node} operand {port} driven twice")
             }
             DfgError::PortOutOfRange { edge, port, arity } => {
-                write!(f, "edge e{} targets port {port} but arity is {arity}", edge.0)
+                write!(
+                    f,
+                    "edge e{} targets port {port} but arity is {arity}",
+                    edge.0
+                )
             }
             DfgError::BadInit { edge, dist, got } => write!(
                 f,
@@ -275,7 +283,10 @@ impl Dfg {
 
     /// Count of nodes whose op needs a multiplier cell.
     pub fn multiplier_ops(&self) -> usize {
-        self.nodes.iter().filter(|n| n.op.needs_multiplier()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.op.needs_multiplier())
+            .count()
     }
 
     /// Count of memory operations.
@@ -385,24 +396,23 @@ impl Dfg {
         let n = self.nodes.len();
         let mut remap: Vec<Option<NodeId>> = vec![None; n];
         let mut new_nodes = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, slot) in remap.iter_mut().enumerate() {
             let id = NodeId(i as u32);
             if keep(id) {
-                remap[i] = Some(NodeId(new_nodes.len() as u32));
+                *slot = Some(NodeId(new_nodes.len() as u32));
                 new_nodes.push(self.nodes[i].clone());
             }
         }
         self.nodes = new_nodes;
-        self.edges.retain_mut(|e| {
-            match (remap[e.src.index()], remap[e.dst.index()]) {
+        self.edges
+            .retain_mut(|e| match (remap[e.src.index()], remap[e.dst.index()]) {
                 (Some(s), Some(d)) => {
                     e.src = s;
                     e.dst = d;
                     true
                 }
                 _ => false,
-            }
-        });
+            });
         remap
     }
 
@@ -420,7 +430,13 @@ impl Dfg {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "dfg {} ({} nodes, {} edges)", self.name, self.node_count(), self.edge_count());
+        let _ = writeln!(
+            s,
+            "dfg {} ({} nodes, {} edges)",
+            self.name,
+            self.node_count(),
+            self.edge_count()
+        );
         for (id, node) in self.nodes() {
             let ins: Vec<String> = (0..node.op.ports().count() as u8)
                 .map(|p| match self.operand(id, p) {
@@ -561,7 +577,9 @@ mod tests {
         assert_eq!(g.node_count(), 4);
         assert_eq!(remap[4], None);
         assert_eq!(g.edge_count(), 4); // sink edge dropped with the node
-        assert!(g.edges().all(|(_, e)| e.dst.index() < 4 && e.src.index() < 4));
+        assert!(g
+            .edges()
+            .all(|(_, e)| e.dst.index() < 4 && e.src.index() < 4));
         // The remaining graph (sans the undriven-output check) still has
         // a consistent carried self-edge on the adder.
         let add = remap[3].unwrap();

@@ -27,7 +27,11 @@ pub fn dfg_to_dot(dfg: &Dfg) -> String {
     }
     for (_, e) in dfg.edges() {
         if e.dist == 0 {
-            let _ = writeln!(s, "  n{} -> n{} [headlabel=\"{}\"];", e.src.0, e.dst.0, e.port);
+            let _ = writeln!(
+                s,
+                "  n{} -> n{} [headlabel=\"{}\"];",
+                e.src.0, e.dst.0, e.port
+            );
         } else {
             let _ = writeln!(
                 s,

@@ -25,7 +25,11 @@ pub enum LowerError {
     ControlFlowInKernel(&'static str),
     OutputNeverAssigned(String),
     UnknownBuiltin(String),
-    BadArity { builtin: String, want: usize, got: usize },
+    BadArity {
+        builtin: String,
+        want: usize,
+        got: usize,
+    },
     /// `delay(x, k)` with non-constant or non-positive `k`.
     BadDelay,
     UnreachableCode,
@@ -214,7 +218,11 @@ impl KernelLowerer {
                 arity(2)?;
                 let a = self.expr(&args[0])?;
                 let b = self.expr(&args[1])?;
-                let k = if name == "min" { OpKind::Min } else { OpKind::Max };
+                let k = if name == "min" {
+                    OpKind::Min
+                } else {
+                    OpKind::Max
+                };
                 Ok(self.binary(k, a, b))
             }
             "select" => {
@@ -309,8 +317,8 @@ impl KernelLowerer {
 /// Recursively guard `mem[..] = v` statements under `if` by rewriting
 /// them to `mem[a] = cond ? v : mem[a]` *before* lowering, so the flat
 /// DFG keeps branch semantics. Runs on the AST.
-fn guard_stores(body: &mut Vec<Stmt>) {
-    fn wrap(body: &mut Vec<Stmt>, guard: &Expr) {
+fn guard_stores(body: &mut [Stmt]) {
+    fn wrap(body: &mut [Stmt], guard: &Expr) {
         for s in body.iter_mut() {
             match s {
                 Stmt::MemStore { addr, value } => {
@@ -423,7 +431,7 @@ pub fn lower_kernel(def: &KernelDef) -> Result<CompiledKernel, LowerError> {
             if e.src == *ph && src != *ph {
                 let dist = e.dist + 1 + extra_delay;
                 let mut init_vals = vec![*init];
-                init_vals.extend(std::iter::repeat(*init).take((dist - 1) as usize));
+                init_vals.extend(std::iter::repeat_n(*init, (dist - 1) as usize));
                 let em = dfg.edge_mut(eid);
                 em.src = src;
                 em.dist = dist;
@@ -435,13 +443,7 @@ pub fn lower_kernel(def: &KernelDef) -> Result<CompiledKernel, LowerError> {
     let dead: Vec<NodeId> = lower
         .carried
         .iter()
-        .filter(|(name, ph, _)| {
-            lower
-                .env
-                .get(name)
-                .map(|v| v.node != *ph)
-                .unwrap_or(false)
-        })
+        .filter(|(name, ph, _)| lower.env.get(name).map(|v| v.node != *ph).unwrap_or(false))
         .map(|(_, ph, _)| *ph)
         .collect();
     if !dead.is_empty() {
@@ -628,7 +630,11 @@ impl FuncLowerer {
                 ("min", 2) | ("max", 2) => {
                     let a = self.expr(&args[0])?;
                     let b = self.expr(&args[1])?;
-                    let k = if name == "min" { OpKind::Min } else { OpKind::Max };
+                    let k = if name == "min" {
+                        OpKind::Min
+                    } else {
+                        OpKind::Max
+                    };
                     let n = self.cur.dfg.add_node(k);
                     self.cur.dfg.connect(a, n, 0);
                     self.cur.dfg.connect(b, n, 1);
@@ -717,7 +723,10 @@ impl FuncLowerer {
                 let header_id = self.reserve("header");
                 let body_id = self.reserve("body");
                 let exit_id = self.reserve("exit");
-                self.seal(ControlKind::Jump(header_id), Some((header_id, "header".into())));
+                self.seal(
+                    ControlKind::Jump(header_id),
+                    Some((header_id, "header".into())),
+                );
                 let c = self.expr(cond)?;
                 self.seal(
                     ControlKind::Branch {
@@ -776,10 +785,7 @@ mod tests {
 
     #[test]
     fn dot_product_kernel_matches_builder() {
-        let k = compile_kernel(
-            "kernel dot(in a, in b, inout acc) { acc = acc + a * b; }",
-        )
-        .unwrap();
+        let k = compile_kernel("kernel dot(in a, in b, inout acc) { acc = acc + a * b; }").unwrap();
         k.dfg.validate().unwrap();
         let tape = Tape::generate(2, 4, |s, i| if s == 0 { (i + 1) as i64 } else { 2 });
         let r = Interpreter::run(&k.dfg, 4, &tape).unwrap();
@@ -868,8 +874,7 @@ mod tests {
 
     #[test]
     fn while_in_kernel_rejected() {
-        let err =
-            compile_kernel("kernel t(in x, out y) { while (x) { y = 1; } }").unwrap_err();
+        let err = compile_kernel("kernel t(in x, out y) { while (x) { y = 1; } }").unwrap_err();
         assert!(err.to_string().contains("not allowed"));
     }
 
@@ -918,10 +923,7 @@ mod tests {
 
     #[test]
     fn func_loop_structure_discovered() {
-        let c = compile_func(
-            "func f(n) { var i = 0; while (i < n) { i += 1; } return; }",
-        )
-        .unwrap();
+        let c = compile_func("func f(n) { var i = 0; while (i < n) { i += 1; } return; }").unwrap();
         assert_eq!(c.loops().len(), 1);
     }
 
@@ -939,7 +941,7 @@ mod tests {
         let mut env = HashMap::new();
         env.insert("n".to_string(), 5_i64);
         let (env, _, _) = c.execute(env, vec![], 10_000).unwrap();
-        assert_eq!(env["total"], 0 + 1 + 4 + 9 + 16);
+        assert_eq!(env["total"], 1 + 4 + 9 + 16);
     }
 
     #[test]

@@ -44,7 +44,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -134,9 +136,7 @@ impl Parser {
             TokenKind::In => ParamDir::In,
             TokenKind::Out => ParamDir::Out,
             TokenKind::InOut => ParamDir::InOut,
-            other => {
-                return Err(self.err(format!("expected `in`/`out`/`inout`, found {other}")))
-            }
+            other => return Err(self.err(format!("expected `in`/`out`/`inout`, found {other}"))),
         };
         let name = self.ident()?;
         let mut init = 0;
@@ -231,24 +231,16 @@ impl Parser {
                 self.expect(TokenKind::Semi)?;
                 let value = match op {
                     TokenKind::Assign => rhs,
-                    TokenKind::PlusAssign => Expr::Binary(
-                        BinOp::Add,
-                        Box::new(Expr::Var(name.clone())),
-                        Box::new(rhs),
-                    ),
-                    TokenKind::MinusAssign => Expr::Binary(
-                        BinOp::Sub,
-                        Box::new(Expr::Var(name.clone())),
-                        Box::new(rhs),
-                    ),
-                    TokenKind::StarAssign => Expr::Binary(
-                        BinOp::Mul,
-                        Box::new(Expr::Var(name.clone())),
-                        Box::new(rhs),
-                    ),
-                    other => {
-                        return Err(self.err(format!("expected assignment, found {other}")))
+                    TokenKind::PlusAssign => {
+                        Expr::Binary(BinOp::Add, Box::new(Expr::Var(name.clone())), Box::new(rhs))
                     }
+                    TokenKind::MinusAssign => {
+                        Expr::Binary(BinOp::Sub, Box::new(Expr::Var(name.clone())), Box::new(rhs))
+                    }
+                    TokenKind::StarAssign => {
+                        Expr::Binary(BinOp::Mul, Box::new(Expr::Var(name.clone())), Box::new(rhs))
+                    }
+                    other => return Err(self.err(format!("expected assignment, found {other}"))),
                 };
                 Ok(Stmt::Assign { name, value })
             }
@@ -519,12 +511,11 @@ mod tests {
 
     #[test]
     fn for_loop_desugars_to_seq_while() {
-        let prog = Parser::new(
-            "func f(n) { var s = 0; for (i = 0; i < n; i += 1) { s += i; } return; }",
-        )
-        .unwrap()
-        .program()
-        .unwrap();
+        let prog =
+            Parser::new("func f(n) { var s = 0; for (i = 0; i < n; i += 1) { s += i; } return; }")
+                .unwrap()
+                .program()
+                .unwrap();
         match &prog.items[0] {
             Item::Func(f) => match &f.body[1] {
                 Stmt::Seq(stmts) => {
@@ -545,12 +536,10 @@ mod tests {
 
     #[test]
     fn if_else_statement() {
-        let prog = Parser::new(
-            "kernel k(in x, out y) { if (x > 0) { y = x; } else { y = -x; } }",
-        )
-        .unwrap()
-        .program()
-        .unwrap();
+        let prog = Parser::new("kernel k(in x, out y) { if (x > 0) { y = x; } else { y = -x; } }")
+            .unwrap()
+            .program()
+            .unwrap();
         match &prog.items[0] {
             Item::Kernel(k) => {
                 assert!(matches!(k.body[0], Stmt::If { .. }));

@@ -140,7 +140,10 @@ pub fn alap(dfg: &Dfg, lat: LatencyFn) -> Vec<u32> {
 pub fn mobility(dfg: &Dfg, lat: LatencyFn) -> Vec<u32> {
     let a = asap(dfg, lat);
     let l = alap(dfg, lat);
-    a.iter().zip(&l).map(|(&a, &l)| l.saturating_sub(a)).collect()
+    a.iter()
+        .zip(&l)
+        .map(|(&a, &l)| l.saturating_sub(a))
+        .collect()
 }
 
 /// Height of each node: longest latency-weighted path to any sink in the
@@ -321,7 +324,7 @@ mod tests {
             assert!(x <= y);
         }
         let m = mobility(&g, &unit_latency);
-        assert!(m.iter().any(|&x| x == 0), "critical path must exist");
+        assert!(m.contains(&0), "critical path must exist");
     }
 
     #[test]

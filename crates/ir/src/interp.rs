@@ -57,7 +57,10 @@ impl std::fmt::Display for InterpError {
         match self {
             InterpError::Invalid(m) => write!(f, "invalid DFG: {m}"),
             InterpError::MissingInput { stream, iteration } => {
-                write!(f, "input stream {stream} has no value for iteration {iteration}")
+                write!(
+                    f,
+                    "input stream {stream} has no value for iteration {iteration}"
+                )
             }
         }
     }
@@ -78,15 +81,12 @@ impl Interpreter {
     /// `edge.init[i]`; from iteration `d` on it reads the producer's
     /// value of iteration `i - d`.
     pub fn run(dfg: &Dfg, iters: usize, tape: &Tape) -> Result<RunResult, InterpError> {
-        dfg.validate().map_err(|e| InterpError::Invalid(e.to_string()))?;
+        dfg.validate()
+            .map_err(|e| InterpError::Invalid(e.to_string()))?;
         let order = dfg.topo_order().expect("validated");
         let n = dfg.node_count();
 
-        let max_dist = dfg
-            .edges()
-            .map(|(_, e)| e.dist as usize)
-            .max()
-            .unwrap_or(0);
+        let max_dist = dfg.edges().map(|(_, e)| e.dist as usize).max().unwrap_or(0);
         let ring = max_dist + 1;
         // history[node][iter % ring]
         let mut history = vec![vec![0 as Value; ring]; n];

@@ -363,9 +363,7 @@ pub fn horner4() -> Dfg {
 pub fn laplacian() -> Dfg {
     let mut g = Dfg::new("laplacian");
     let c = g.add_named(OpKind::Input(0), "c");
-    let nb: Vec<NodeId> = (1..5)
-        .map(|s| g.add_node(OpKind::Input(s)))
-        .collect();
+    let nb: Vec<NodeId> = (1..5).map(|s| g.add_node(OpKind::Input(s))).collect();
     let four = g.add_node(OpKind::Const(4));
     let m = g.add_node(OpKind::Mul);
     g.connect(c, m, 0);
@@ -476,7 +474,14 @@ pub fn suite() -> Vec<Dfg> {
 
 /// A small subset for the expensive exact mappers.
 pub fn small_suite() -> Vec<Dfg> {
-    vec![dot_product(), accumulate(), iir1(), sad(), threshold(), horner4()]
+    vec![
+        dot_product(),
+        accumulate(),
+        iir1(),
+        sad(),
+        threshold(),
+        horner4(),
+    ]
 }
 
 #[cfg(test)]

@@ -98,8 +98,8 @@ impl OpKind {
             Const(_) | Input(_) => PortCount::Fixed(0),
             Output(_) => PortCount::One,
             Not | Neg | Abs | Load | Route => PortCount::Fixed(1),
-            Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Min | Max | Eq | Ne
-            | Lt | Le | Gt | Ge | Store => PortCount::Fixed(2),
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Min | Max | Eq | Ne | Lt
+            | Le | Gt | Ge | Store => PortCount::Fixed(2),
             Select => PortCount::Fixed(3),
             // φ arity is block-dependent; validated by the CDFG, not here.
             Phi => PortCount::Fixed(2),

@@ -91,13 +91,17 @@ pub fn dce(dfg: &mut Dfg) -> usize {
     removed
 }
 
+/// CSE identity: opcode plus the per-port `(source, distance, init)`
+/// operand signature.
+type CseKey = (OpKind, Vec<(NodeId, u32, Vec<Value>)>);
+
 /// Common-subexpression elimination: merge nodes with identical opcode
 /// and identical operand edges (source, distance, init). Conservative
 /// around memory: `Load`/`Store`/`Input`/`Output` are never merged.
 pub fn cse(dfg: &mut Dfg) -> usize {
     let mut merged = 0;
     loop {
-        let mut seen: HashMap<(OpKind, Vec<(NodeId, u32, Vec<Value>)>), NodeId> = HashMap::new();
+        let mut seen: HashMap<CseKey, NodeId> = HashMap::new();
         let mut replace: Option<(NodeId, NodeId)> = None;
         let order = match dfg.topo_order() {
             Ok(o) => o,
@@ -203,9 +207,15 @@ pub fn algebraic(dfg: &mut Dfg) -> usize {
             match op {
                 OpKind::Mul => {
                     if c1 == Some(1) && forward0 {
-                        action = Some(Action::Forward { node: id, with: e0.src });
+                        action = Some(Action::Forward {
+                            node: id,
+                            with: e0.src,
+                        });
                     } else if c0 == Some(1) && forward1 {
-                        action = Some(Action::Forward { node: id, with: e1.src });
+                        action = Some(Action::Forward {
+                            node: id,
+                            with: e1.src,
+                        });
                     } else if c1 == Some(0) || c0 == Some(0) {
                         action = Some(Action::ToConst { node: id, v: 0 });
                     } else if let Some(v) = c1 {
@@ -219,37 +229,47 @@ pub fn algebraic(dfg: &mut Dfg) -> usize {
                 }
                 OpKind::Add => {
                     if c1 == Some(0) && forward0 {
-                        action = Some(Action::Forward { node: id, with: e0.src });
+                        action = Some(Action::Forward {
+                            node: id,
+                            with: e0.src,
+                        });
                     } else if c0 == Some(0) && forward1 {
-                        action = Some(Action::Forward { node: id, with: e1.src });
+                        action = Some(Action::Forward {
+                            node: id,
+                            with: e1.src,
+                        });
                     }
                 }
                 OpKind::Sub => {
                     if c1 == Some(0) && forward0 {
-                        action = Some(Action::Forward { node: id, with: e0.src });
+                        action = Some(Action::Forward {
+                            node: id,
+                            with: e0.src,
+                        });
                     } else if same_src {
                         action = Some(Action::ToConst { node: id, v: 0 });
                     }
                 }
-                OpKind::Div => {
-                    if c1 == Some(1) && forward0 {
-                        action = Some(Action::Forward { node: id, with: e0.src });
-                    }
+                OpKind::Div if c1 == Some(1) && forward0 => {
+                    action = Some(Action::Forward {
+                        node: id,
+                        with: e0.src,
+                    });
                 }
-                OpKind::Shl | OpKind::Shr => {
-                    if c1 == Some(0) && forward0 {
-                        action = Some(Action::Forward { node: id, with: e0.src });
-                    }
+                OpKind::Shl | OpKind::Shr if c1 == Some(0) && forward0 => {
+                    action = Some(Action::Forward {
+                        node: id,
+                        with: e0.src,
+                    });
                 }
-                OpKind::And | OpKind::Or => {
-                    if same_src && forward0 {
-                        action = Some(Action::Forward { node: id, with: e0.src });
-                    }
+                OpKind::And | OpKind::Or if same_src && forward0 => {
+                    action = Some(Action::Forward {
+                        node: id,
+                        with: e0.src,
+                    });
                 }
-                OpKind::Xor => {
-                    if same_src {
-                        action = Some(Action::ToConst { node: id, v: 0 });
-                    }
+                OpKind::Xor if same_src => {
+                    action = Some(Action::ToConst { node: id, v: 0 });
                 }
                 _ => {}
             }
@@ -304,7 +324,13 @@ pub fn tree_height_reduction(dfg: &mut Dfg) -> usize {
     let assoc = |op: OpKind| {
         matches!(
             op,
-            OpKind::Add | OpKind::Mul | OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Min | OpKind::Max
+            OpKind::Add
+                | OpKind::Mul
+                | OpKind::And
+                | OpKind::Or
+                | OpKind::Xor
+                | OpKind::Min
+                | OpKind::Max
         )
     };
     let mut uses = vec![0usize; dfg.node_count()];
@@ -460,10 +486,7 @@ pub fn unroll(dfg: &Dfg, factor: u32) -> Dfg {
                 other => other,
             };
             let nid = out.add_node(op);
-            out.node_mut(nid).name = node
-                .name
-                .as_ref()
-                .map(|s| format!("{s}#{j}"));
+            out.node_mut(nid).name = node.name.as_ref().map(|s| format!("{s}#{j}"));
             ids.push(nid);
         }
         copies.push(ids);

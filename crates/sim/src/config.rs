@@ -37,19 +37,18 @@ pub struct ConfigStream {
 impl ConfigStream {
     /// Generate the per-slot configuration from a valid mapping.
     pub fn generate(mapping: &Mapping, dfg: &Dfg, fabric: &Fabric) -> ConfigStream {
-        let mut contexts =
+        let mut contexts = vec![
             vec![
-                vec![
-                    Context {
-                        node: None,
-                        op: None,
-                        imm: None,
-                        operand_from: Vec::new(),
-                    };
-                    fabric.num_pes()
-                ];
-                mapping.ii as usize
+                Context {
+                    node: None,
+                    op: None,
+                    imm: None,
+                    operand_from: Vec::new(),
+                };
+                fabric.num_pes()
             ];
+            mapping.ii as usize
+        ];
         for (id, node) in dfg.nodes() {
             let p = mapping.placement(id);
             let slot = (p.time % mapping.ii) as usize;
@@ -126,7 +125,11 @@ impl ConfigStream {
     pub fn render(&self, fabric: &Fabric) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "configuration stream: II={} ({} contexts)", self.ii, self.ii);
+        let _ = writeln!(
+            s,
+            "configuration stream: II={} ({} contexts)",
+            self.ii, self.ii
+        );
         for (slot, ctxs) in self.contexts.iter().enumerate() {
             let _ = writeln!(s, " context {slot}:");
             for r in 0..fabric.rows {
@@ -165,14 +168,16 @@ pub fn node_at(stream: &ConfigStream, pe: PeId, slot: u32) -> Option<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cgra_arch::Topology;
+    use cgra_arch::{Topology, TopologyCache};
     use cgra_ir::kernels;
     use cgra_mapper_core::prelude::*;
 
     fn mapped() -> (Dfg, Fabric, Mapping) {
         let dfg = kernels::dot_product();
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
-        let m = ModuloList::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let m = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
         (dfg, f, m)
     }
 
@@ -197,6 +202,7 @@ mod tests {
     fn operand_sources_are_local_or_neighbours() {
         let (dfg, f, m) = mapped();
         let cs = ConfigStream::generate(&m, &dfg, &f);
+        let topo = TopologyCache::build(&f);
         for (slot, ctxs) in cs.contexts.iter().enumerate() {
             for (pe_idx, ctx) in ctxs.iter().enumerate() {
                 let pe = PeId(pe_idx as u16);
@@ -204,7 +210,7 @@ mod tests {
                 for &src in &ctx.operand_from {
                     let src = PeId(src);
                     assert!(
-                        src == pe || f.neighbors(pe).contains(&src),
+                        src == pe || topo.adjacent(pe, src),
                         "operand from non-adjacent {src} at {pe}"
                     );
                 }

@@ -76,12 +76,7 @@ pub fn simulate(
     for (id, _) in dfg.nodes() {
         let p = mapping.placement(id);
         for i in 0..iters {
-            events.push((
-                p.time as u64 + i as u64 * mapping.ii as u64,
-                p.pe.0,
-                id,
-                i,
-            ));
+            events.push((p.time as u64 + i as u64 * mapping.ii as u64, p.pe.0, id, i));
         }
     }
     events.sort_unstable();
@@ -202,7 +197,9 @@ mod tests {
     fn simulated_dot_product_matches_interpreter() {
         let dfg = kernels::dot_product();
         let f = mesh();
-        let m = ModuloList::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let m = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
         let tape = Tape::generate(2, 8, |s, i| (s as i64 + 1) * (i as i64 + 1));
         let stats = simulate_verified(&m, &dfg, &f, 8, &tape).unwrap();
         assert_eq!(stats.iterations, 8);
@@ -237,7 +234,9 @@ mod tests {
         // At II=1, N iterations take ~N + depth cycles, far below N x len.
         let dfg = kernels::accumulate();
         let f = mesh();
-        let m = ModuloList::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let m = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
         let iters = 64;
         let tape = Tape::generate(1, iters, |_, i| i as i64);
         let stats = simulate(&m, &dfg, &f, iters, &tape).unwrap();
@@ -254,7 +253,9 @@ mod tests {
     fn dry_input_reported() {
         let dfg = kernels::dot_product();
         let f = mesh();
-        let m = ModuloList::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let m = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
         let tape = Tape::generate(2, 3, |_, _| 1);
         let err = simulate(&m, &dfg, &f, 5, &tape).unwrap_err();
         assert!(matches!(err, SimError::MissingInput { .. }));

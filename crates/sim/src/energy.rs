@@ -54,13 +54,7 @@ impl EnergyModel {
     }
 
     /// Energy of executing `iters` iterations of a mapped kernel.
-    pub fn run_energy(
-        &self,
-        mapping: &Mapping,
-        dfg: &Dfg,
-        fabric: &Fabric,
-        iters: u64,
-    ) -> f64 {
+    pub fn run_energy(&self, mapping: &Mapping, dfg: &Dfg, fabric: &Fabric, iters: u64) -> f64 {
         let metrics = Metrics::of(mapping, dfg, fabric);
         let ops: f64 = dfg.nodes().map(|(_, n)| self.op_energy(n.op)).sum();
         let dynamic_per_iter = ops
@@ -73,13 +67,7 @@ impl EnergyModel {
     }
 
     /// Energy per useful operation (ops/J inverse) — the Fig. 1 y-axis.
-    pub fn energy_per_op(
-        &self,
-        mapping: &Mapping,
-        dfg: &Dfg,
-        fabric: &Fabric,
-        iters: u64,
-    ) -> f64 {
+    pub fn energy_per_op(&self, mapping: &Mapping, dfg: &Dfg, fabric: &Fabric, iters: u64) -> f64 {
         let total = self.run_energy(mapping, dfg, fabric, iters);
         total / (dfg.node_count() as f64 * iters as f64)
     }
@@ -96,7 +84,9 @@ mod tests {
     fn energy_scales_with_iterations() {
         let dfg = kernels::dot_product();
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
-        let m = ModuloList::default().map(&dfg, &f, &MapConfig::fast()).unwrap();
+        let m = ModuloList::default()
+            .map(&dfg, &f, &MapConfig::fast())
+            .unwrap();
         let em = EnergyModel::default();
         let e1 = em.run_energy(&m, &dfg, &f, 100);
         let e2 = em.run_energy(&m, &dfg, &f, 200);
@@ -108,7 +98,9 @@ mod tests {
         let f = Fabric::homogeneous(4, 4, Topology::Mesh);
         let em = EnergyModel::default();
         let map = |dfg: &cgra_ir::Dfg| {
-            ModuloList::default().map(dfg, &f, &MapConfig::fast()).unwrap()
+            ModuloList::default()
+                .map(dfg, &f, &MapConfig::fast())
+                .unwrap()
         };
         let dot = kernels::dot_product();
         let mat = kernels::matmul_body();

@@ -31,9 +31,7 @@ pub fn at_most_one(s: &mut SatSolver, lits: &[Lit], enc: AmoEncoding) {
                 return;
             }
             // Sinz's sequential counter: s_i = "some lit among 0..=i".
-            let regs: Vec<Lit> = (0..lits.len() - 1)
-                .map(|_| Lit::pos(s.new_var()))
-                .collect();
+            let regs: Vec<Lit> = (0..lits.len() - 1).map(|_| Lit::pos(s.new_var())).collect();
             // l_0 -> s_0
             s.add_clause(&[lits[0].negate(), regs[0]]);
             for i in 1..lits.len() - 1 {

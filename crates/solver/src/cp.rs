@@ -110,7 +110,11 @@ type BinPred = Rc<dyn Fn(u32, u32) -> bool>;
 
 enum Constraint {
     /// `pred(x_val, y_val)` must hold (evaluated per check).
-    Binary { x: usize, y: usize, pred: BinPred },
+    Binary {
+        x: usize,
+        y: usize,
+        pred: BinPred,
+    },
     /// Extensional binary constraint with precomputed support bitsets:
     /// `fwd[a]` is the bitset of `y`-values compatible with `x = a`,
     /// `rev[b]` the bitset of `x`-values compatible with `y = b`.
@@ -231,12 +235,7 @@ impl CpModel {
     }
 
     /// Add a binary constraint `pred(x, y)`.
-    pub fn binary(
-        &mut self,
-        x: CpVar,
-        y: CpVar,
-        pred: impl Fn(u32, u32) -> bool + 'static,
-    ) {
+    pub fn binary(&mut self, x: CpVar, y: CpVar, pred: impl Fn(u32, u32) -> bool + 'static) {
         let idx = self.constraints.len();
         self.constraints.push(Constraint::Binary {
             x: x.0,
@@ -250,12 +249,7 @@ impl CpModel {
     /// Add a binary constraint as a precomputed table (the relation is
     /// evaluated once per value pair at model-build time; propagation
     /// then runs on bitset intersections).
-    pub fn binary_table(
-        &mut self,
-        x: CpVar,
-        y: CpVar,
-        pred: impl Fn(u32, u32) -> bool,
-    ) {
+    pub fn binary_table(&mut self, x: CpVar, y: CpVar, pred: impl Fn(u32, u32) -> bool) {
         let cap_x = self.capacity(x);
         let cap_y = self.capacity(y);
         let wy = (cap_y as usize).div_ceil(64);
@@ -320,13 +314,16 @@ impl CpModel {
                         let b_vals: Vec<u32> = domains[b].iter().collect();
                         let a_vals: Vec<u32> = domains[a].iter().collect();
                         for av in a_vals {
-                            let supported = b_vals.iter().any(|&bv| {
-                                if flip {
-                                    pred(bv, av)
-                                } else {
-                                    pred(av, bv)
-                                }
-                            });
+                            let supported =
+                                b_vals.iter().any(
+                                    |&bv| {
+                                        if flip {
+                                            pred(bv, av)
+                                        } else {
+                                            pred(av, bv)
+                                        }
+                                    },
+                                );
                             if !supported {
                                 domains[a].remove(av);
                                 touched_vars.push(a);
@@ -429,12 +426,7 @@ impl CpModel {
         }
     }
 
-    fn search(
-        &mut self,
-        domains: &mut Vec<Domain>,
-        cfg: &CpConfig,
-        start: &Instant,
-    ) -> SearchOutcome {
+    fn search(&mut self, domains: &mut [Domain], cfg: &CpConfig, start: &Instant) -> SearchOutcome {
         self.nodes += 1;
         self.total_nodes += 1;
         if self.nodes > cfg.node_limit
@@ -460,7 +452,7 @@ impl CpModel {
         let values: Vec<u32> = domains[var].iter().collect();
         let mut budget_hit = false;
         for val in values {
-            let mut child = domains.clone();
+            let mut child = domains.to_vec();
             child[var].assign(val);
             if self.propagate(&mut child) {
                 match self.search(&mut child, cfg, start) {
@@ -515,15 +507,14 @@ impl CpModel {
         }
         let start = Instant::now();
         let mut best: Option<(Vec<u32>, i64)> = None;
-        let complete =
-            self.bb_search(&mut domains, &cost, &mut best, &cfg, &start);
+        let complete = self.bb_search(&mut domains, &cost, &mut best, &cfg, &start);
         (best, complete)
     }
 
     /// Returns true if the subtree was fully explored within budget.
     fn bb_search(
         &mut self,
-        domains: &mut Vec<Domain>,
+        domains: &mut [Domain],
         cost: &impl Fn(usize, u32) -> i64,
         best: &mut Option<(Vec<u32>, i64)>,
         cfg: &CpConfig,
@@ -566,7 +557,7 @@ impl CpModel {
         values.sort_by_key(|&val| cost(var, val));
         let mut complete = true;
         for val in values {
-            let mut child = domains.clone();
+            let mut child = domains.to_vec();
             child[var].assign(val);
             if self.propagate(&mut child) {
                 complete &= self.bb_search(&mut child, cost, best, cfg, start);
@@ -643,9 +634,7 @@ mod tests {
         for i in 0..n as usize {
             for j in (i + 1)..n as usize {
                 let d = (j - i) as u32;
-                m.binary(cols[i], cols[j], move |a, b| {
-                    a.abs_diff(b) != d
-                });
+                m.binary(cols[i], cols[j], move |a, b| a.abs_diff(b) != d);
             }
         }
         match m.solve() {

@@ -30,12 +30,15 @@ struct IlpStats {
     cuts: Cell<u64>,
 }
 
+/// One linear constraint: sparse `(var, coeff)` terms, comparator, rhs.
+type Constraint = (Vec<(usize, f64)>, Cmp, f64);
+
 /// A 0/1 ILP.
 #[derive(Debug, Clone)]
 pub struct IlpModel {
     num_vars: usize,
     objective: Vec<f64>,
-    constraints: Vec<(Vec<(usize, f64)>, Cmp, f64)>,
+    constraints: Vec<Constraint>,
     maximize: bool,
     stats: IlpStats,
     /// Cooperative stop signal, polled once per branch-and-bound node.
@@ -187,8 +190,8 @@ impl IlpModel {
             let sparse: Vec<(usize, f64)> = coeffs.clone();
             lp.add_constraint(&sparse, *cmp, *rhs);
         }
-        for v in 0..self.num_vars {
-            match fixed[v] {
+        for (v, fix) in fixed.iter().enumerate().take(self.num_vars) {
+            match fix {
                 Some(true) => lp.add_constraint(&[(v, 1.0)], Cmp::Eq, 1.0),
                 Some(false) => lp.add_constraint(&[(v, 1.0)], Cmp::Eq, 0.0),
                 None => lp.add_constraint(&[(v, 1.0)], Cmp::Le, 1.0),
@@ -335,13 +338,13 @@ mod tests {
         let costs = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
         let mut m = IlpModel::new(false);
         let mut v = [[IlpVar(0); 3]; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                v[i][j] = m.add_var(costs[i][j]);
+        for (i, row) in v.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = m.add_var(costs[i][j]);
             }
         }
-        for i in 0..3 {
-            m.exactly_one(&v[i]);
+        for (i, row) in v.iter().enumerate() {
+            m.exactly_one(row);
             let col: Vec<IlpVar> = (0..3).map(|r| v[r][i]).collect();
             m.exactly_one(&col);
         }

@@ -27,7 +27,10 @@ pub struct Lp {
 /// Outcome of a solve.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LpResult {
-    Optimal { x: Vec<f64>, objective: f64 },
+    Optimal {
+        x: Vec<f64>,
+        objective: f64,
+    },
     Infeasible,
     Unbounded,
     /// The attached [`Interrupt`](crate::interrupt::Interrupt) fired
@@ -217,12 +220,7 @@ impl Lp {
                 x[basis[i]] = t[i][total];
             }
         }
-        let objective: f64 = self
-            .objective
-            .iter()
-            .zip(&x)
-            .map(|(c, xv)| c * xv)
-            .sum();
+        let objective: f64 = self.objective.iter().zip(&x).map(|(c, xv)| c * xv).sum();
         LpResult::Optimal { x, objective }
     }
 
@@ -271,6 +269,7 @@ impl Lp {
         Ok(())
     }
 
+    #[allow(clippy::needless_range_loop)] // indexes two tableau rows at once
     fn pivot(
         t: &mut [Vec<f64>],
         z: &mut [f64],
@@ -415,8 +414,12 @@ mod tests {
         // Profits: p(0,0)=5 p(0,1)=1 p(1,0)=2 p(1,1)=4 -> 9 (integral).
         let var = |i: usize, b: usize| i * 2 + b;
         let mut lp = Lp::new(4, true);
-        for (v, p) in [(var(0, 0), 5.0), (var(0, 1), 1.0), (var(1, 0), 2.0), (var(1, 1), 4.0)]
-        {
+        for (v, p) in [
+            (var(0, 0), 5.0),
+            (var(0, 1), 1.0),
+            (var(1, 0), 2.0),
+            (var(1, 1), 4.0),
+        ] {
             lp.set_objective(v, p);
         }
         for i in 0..2 {

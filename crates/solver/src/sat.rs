@@ -229,7 +229,11 @@ impl SatSolver {
     fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
         let v = l.var().0 as usize;
         debug_assert_eq!(self.assign[v], Value::Undef);
-        self.assign[v] = if l.is_neg() { Value::False } else { Value::True };
+        self.assign[v] = if l.is_neg() {
+            Value::False
+        } else {
+            Value::True
+        };
         self.phase[v] = !l.is_neg();
         self.level[v] = self.trail_lim.len() as u32;
         self.reason[v] = reason;
@@ -504,11 +508,7 @@ impl SatSolver {
                     }
                     match self.decide() {
                         None => {
-                            let model = self
-                                .assign
-                                .iter()
-                                .map(|&v| v == Value::True)
-                                .collect();
+                            let model = self.assign.iter().map(|&v| v == Value::True).collect();
                             self.cancel_until(0);
                             return SatResult::Sat(model);
                         }
@@ -526,6 +526,10 @@ impl SatSolver {
 
 #[cfg(test)]
 mod tests {
+    // Pigeonhole encodings index `p[a][hole]`/`p[b][hole]` — the range
+    // loop is the clearest form.
+    #![allow(clippy::needless_range_loop)]
+
     use super::*;
 
     fn v(s: &mut SatSolver, n: usize) -> Vec<SatVar> {
@@ -666,8 +670,9 @@ mod tests {
                     }));
                 }
             }
-            SatResult::Unsat => { /* fine if genuinely unsat — but then
-                                  verify by brute force below */
+            SatResult::Unsat => {
+                /* fine if genuinely unsat — but then
+                verify by brute force below */
                 let n = vars.len();
                 for bits in 0..(1u32 << n) {
                     let m: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();

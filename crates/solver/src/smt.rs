@@ -113,8 +113,7 @@ impl SmtSolver {
                         Some(cycle_lits) => {
                             self.theory_conflicts += 1;
                             // Block this theory-inconsistent combination.
-                            let clause: Vec<Lit> =
-                                cycle_lits.iter().map(|l| l.negate()).collect();
+                            let clause: Vec<Lit> = cycle_lits.iter().map(|l| l.negate()).collect();
                             self.sat.add_clause(&clause);
                             if clause.is_empty() {
                                 return SmtResult::Unsat;
@@ -130,10 +129,7 @@ impl SmtSolver {
 
 /// Bellman-Ford negative-cycle detection. Returns the literals of the
 /// constraints on a negative cycle, or `None` if consistent.
-fn negative_cycle(
-    n: usize,
-    edges: &[(usize, usize, i64, Lit)],
-) -> Option<Vec<Lit>> {
+fn negative_cycle(n: usize, edges: &[(usize, usize, i64, Lit)]) -> Option<Vec<Lit>> {
     let mut dist = vec![0i64; n];
     let mut pred: Vec<Option<usize>> = vec![None; n];
     let mut changed_node = None;

@@ -15,16 +15,13 @@ fn arb_cnf(nvars: usize, nclauses: usize) -> impl Strategy<Value = Vec<Vec<(usiz
 
 fn brute_force_sat(nvars: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
     (0..(1u32 << nvars)).any(|bits| {
-        cnf.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|&(v, pos)| (bits >> v & 1 == 1) == pos)
-        })
+        cnf.iter()
+            .all(|clause| clause.iter().any(|&(v, pos)| (bits >> v & 1 == 1) == pos))
     })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     #[test]
     fn cdcl_agrees_with_truth_table(cnf in arb_cnf(8, 24)) {

@@ -113,7 +113,10 @@ mod tests {
             .map(|p| p.publications)
             .max()
             .unwrap();
-        assert!(y2021 >= max_other, "2021 ({y2021}) vs max other ({max_other})");
+        assert!(
+            y2021 >= max_other,
+            "2021 ({y2021}) vs max other ({max_other})"
+        );
     }
 
     #[test]

@@ -8,9 +8,7 @@
 //! cargo run --example control_flow
 //! ```
 
-use cgra::mapper::ctrlflow::{
-    dual_issue_pairs, map_direct, predicate_diamond, IteScheme,
-};
+use cgra::mapper::ctrlflow::{dual_issue_pairs, map_direct, predicate_diamond, IteScheme};
 use cgra::prelude::*;
 
 fn main() {
@@ -97,7 +95,10 @@ fn main() {
         let r = Interpreter::run(&part.dfg, 1, &tape).unwrap();
         let y_stream = part.outputs.iter().position(|o| o == "y").unwrap();
         assert_eq!(r.outputs[y_stream][0], env["y"], "x={x}");
-        println!("  x={x:<4} -> y={} (CDFG) == {} (predicated)", env["y"], r.outputs[y_stream][0]);
+        println!(
+            "  x={x:<4} -> y={} (CDFG) == {} (predicated)",
+            env["y"], r.outputs[y_stream][0]
+        );
     }
     println!("all schemes agree with the reference CDFG semantics.");
 }

@@ -68,13 +68,9 @@ fn main() {
 fn report(label: &str, mapping: &Mapping, dfg: &Dfg, fabric: &Fabric, tape: &Tape) {
     validate(mapping, dfg, fabric).expect("all mappings validate");
     let metrics = Metrics::of(mapping, dfg, fabric);
-    let stats =
-        cgra::sim::simulate_verified(mapping, dfg, fabric, 8, tape).expect("functional");
+    let stats = cgra::sim::simulate_verified(mapping, dfg, fabric, 8, tape).expect("functional");
     println!(
         "== {label}: II={} schedule={} | 8 iterations in {} cycles | outputs {:?}",
-        metrics.ii,
-        metrics.schedule_len,
-        stats.cycles,
-        stats.outputs[0]
+        metrics.ii, metrics.schedule_len, stats.cycles, stats.outputs[0]
     );
 }

@@ -26,7 +26,11 @@ fn maps_and_reports() {
         .output()
         .expect("binary runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("II="), "{stdout}");
     assert!(stdout.contains("functional check vs reference interpreter: OK"));
 }
@@ -50,7 +54,16 @@ fn json_report_parses() {
 fn list_mappers_covers_families() {
     let out = bin().arg("--list-mappers").output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for name in ["modulo-list", "sa", "ga", "ilp", "sat", "smt", "cp", "himap"] {
+    for name in [
+        "modulo-list",
+        "sa",
+        "ga",
+        "ilp",
+        "sat",
+        "smt",
+        "cp",
+        "himap",
+    ] {
         assert!(stdout.contains(name), "{name} missing:\n{stdout}");
     }
 }
@@ -67,7 +80,11 @@ fn bad_input_fails_cleanly() {
     assert!(!out.status.success());
 
     let path = write_temp("dot3.mc", DOT);
-    let out = bin().arg(&path).args(["--mapper", "bogus"]).output().unwrap();
+    let out = bin()
+        .arg(&path)
+        .args(["--mapper", "bogus"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mapper"));
 }
@@ -95,7 +112,11 @@ fn trace_is_line_delimited_json_with_all_phases() {
         .args(["--trace", trace.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let body = std::fs::read_to_string(&trace).unwrap();
     let mut phases = std::collections::HashSet::new();
     let mut counters_lines = 0;
@@ -130,11 +151,17 @@ fn trace_is_line_delimited_json_with_all_phases() {
         }
     }
     for p in ["parse", "optimize", "map", "route", "validate", "simulate"] {
-        assert!(phases.contains(p), "phase `{p}` missing from trace:\n{body}");
+        assert!(
+            phases.contains(p),
+            "phase `{p}` missing from trace:\n{body}"
+        );
     }
     assert_eq!(counters_lines, 1, "exactly one counters line expected");
     assert_eq!(meta_lines, 1, "exactly one meta line expected");
-    assert!(ledger_lines >= 1, "ledger events missing from trace:\n{body}");
+    assert!(
+        ledger_lines >= 1,
+        "ledger events missing from trace:\n{body}"
+    );
     assert!(
         body.lines().last().unwrap().contains("\"meta\""),
         "meta must be the final line"
@@ -149,7 +176,11 @@ fn profile_reports_search_effort() {
         .args(["--mapper", "sa", "--profile", "--seed", "7"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("search profile:"), "{stdout}");
     assert!(stdout.contains("moves_proposed"), "{stdout}");
@@ -165,11 +196,21 @@ fn budget_flags_flow_into_json_config() {
     let out = bin()
         .arg(&path)
         .args([
-            "--json", "--time-limit", "7", "--effort", "33", "--horizon", "2",
+            "--json",
+            "--time-limit",
+            "7",
+            "--effort",
+            "33",
+            "--horizon",
+            "2",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
     assert_eq!(v["config"]["time_limit_secs"].as_f64().unwrap(), 7.0);
     assert_eq!(v["config"]["effort"].as_u64().unwrap(), 33);

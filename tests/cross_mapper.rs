@@ -105,10 +105,9 @@ fn failure_modes_are_reported_not_panicked() {
     let fabric = Fabric::homogeneous(2, 2, Topology::Mesh);
     let dfg = kernels::unrolled_mac(30);
     for mapper in all_mappers() {
-        match mapper.map(&dfg, &fabric, &MapConfig::fast()) {
-            Ok(m) => validate(&m, &dfg, &fabric)
-                .unwrap_or_else(|e| panic!("{}: invalid: {e}", mapper.name())),
-            Err(_) => {}
+        if let Ok(m) = mapper.map(&dfg, &fabric, &MapConfig::fast()) {
+            validate(&m, &dfg, &fabric)
+                .unwrap_or_else(|e| panic!("{}: invalid: {e}", mapper.name()))
         }
     }
 }

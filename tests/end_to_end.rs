@@ -139,7 +139,9 @@ fn unrolled_kernel_maps_and_matches() {
     let (dfg, streams) = compile("dot");
     let unrolled = passes::unroll(&dfg, 2);
     let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
-    let m = ModuloList::default().map(&unrolled, &fabric, &fast_cfg()).unwrap();
+    let m = ModuloList::default()
+        .map(&unrolled, &fabric, &fast_cfg())
+        .unwrap();
     validate(&m, &unrolled, &fabric).unwrap();
     let tape = Tape::generate(streams, 8, |s, i| ((s + 1) * (i + 1)) as i64 % 13);
     let reshaped = passes::reshape_tape(&tape, 2);

@@ -63,7 +63,7 @@ fn arb_dfg() -> impl Strategy<Value = Dfg> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     #[test]
     fn random_dfgs_are_valid(dfg in arb_dfg()) {

@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 const QUICK_CAP: Duration = Duration::from_millis(120);
 
 fn full_mode() -> bool {
-    std::env::var("CRITERION_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("CRITERION_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Top-level handle handed to each `criterion_group!` function.
@@ -84,7 +86,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl ToString, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl ToString,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -138,7 +145,8 @@ impl Bencher {
         let t0 = Instant::now();
         std::hint::black_box(routine());
         let once = t0.elapsed().max(Duration::from_nanos(1));
-        let iters_per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
 
         let start = Instant::now();
         for _ in 0..self.sample_size {
@@ -149,7 +157,8 @@ impl Bencher {
             for _ in 0..iters_per_sample {
                 std::hint::black_box(routine());
             }
-            self.samples.push(s.elapsed().as_nanos() / iters_per_sample as u128);
+            self.samples
+                .push(s.elapsed().as_nanos() / iters_per_sample as u128);
         }
         if self.samples.is_empty() {
             self.samples.push(once.as_nanos());
@@ -194,9 +203,7 @@ mod tests {
         g.sample_size(5).measurement_time(Duration::from_millis(50));
         let mut calls = 0u32;
         g.bench_function("count", |b| b.iter(|| calls += 1));
-        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
-            b.iter(|| x * x)
-        });
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
         g.finish();
         assert!(calls > 0);
     }

@@ -22,9 +22,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pairs: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
-                    )
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
                 })
                 .collect();
             format!(

@@ -237,8 +237,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| Error(e.to_string()))?;
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)
