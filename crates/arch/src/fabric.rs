@@ -22,7 +22,7 @@ impl fmt::Display for PeId {
 }
 
 /// What a cell's functional unit can do.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CellCaps {
     /// Plain ALU operations (always true in practice).
     pub alu: bool,
@@ -55,7 +55,7 @@ impl CellCaps {
 }
 
 /// Operand-network topologies from the literature.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Topology {
     /// 4-neighbour 2-D mesh (N/S/E/W) — ADRES/MorphoSys baseline.
     Mesh,
@@ -69,7 +69,7 @@ pub enum Topology {
 }
 
 /// Where stream I/O operations may be placed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum IoPolicy {
     /// Only border cells have stream ports (common in tiled CGRAs).
     BorderOnly,

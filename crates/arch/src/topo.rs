@@ -70,7 +70,7 @@ impl BitSet {
 /// The topological inputs the cache was derived from. Two fabrics with
 /// equal fingerprints have identical adjacency, distance, border, and
 /// capability tables.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Fingerprint {
     rows: u16,
     cols: u16,
@@ -284,6 +284,17 @@ impl TopologyCache {
     /// handed a shared cache to decide between reuse and rebuild.
     pub fn matches(&self, fabric: &Fabric) -> bool {
         self.num_pes == fabric.num_pes() && self.fingerprint == Fingerprint::of(fabric)
+    }
+
+    /// A 64-bit digest of the topological fingerprint, for keying
+    /// caches of derived state (e.g. incremental solver contexts) by
+    /// fabric identity without holding the fabric itself. Stable within
+    /// a process; not a cross-process format.
+    pub fn fingerprint64(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.fingerprint.hash(&mut h);
+        h.finish()
     }
 }
 

@@ -392,7 +392,9 @@ pub fn parallel_ii(
             job_cfg.max_ii = ii;
             job_cfg.budget = budgets[j].clone();
             job_cfg.topo = Some(Arc::clone(&topo));
-            cfg.ledger.ii_attempt(mapper.name(), ii);
+            // No ledger emission here: the mapper itself journals its
+            // `ii_attempt`, exactly as in the sequential bottom-up
+            // sweep, so convergence views agree between the two paths.
             match mapper.map(dfg, fabric, &job_cfg) {
                 Ok(m) => {
                     if validate_with(&m, dfg, fabric, &topo).is_err() {
@@ -413,7 +415,15 @@ pub fn parallel_ii(
                     }
                     None
                 }
-                Err(e) => Some(e),
+                Err(e) => {
+                    // A job cancelled mid-search (a lower II validated
+                    // while it was running) counts like one skipped
+                    // before starting.
+                    if matches!(e, MapError::Cancelled) {
+                        cfg.telemetry.bump(Counter::Cancellations);
+                    }
+                    Some(e)
+                }
             }
         })
         .collect();
@@ -507,6 +517,46 @@ mod tests {
         validate(m, &dfg, &fabric).unwrap();
         assert_eq!(out.entries.len(), 2);
         assert!(out.entries.iter().all(|e| e.stats.is_some()));
+    }
+
+    #[test]
+    fn parallel_ii_journals_attempts_like_the_sequential_sweep() {
+        use crate::ledger::{EventKind, Ledger};
+        let mapper = ModuloList::default();
+        let dfg = kernels::fir(4);
+        let fabric = Fabric::homogeneous(4, 4, Topology::Mesh);
+        let attempts = |l: &Ledger| -> Vec<(String, u32)> {
+            l.events()
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    EventKind::IiAttempt { mapper, ii } => Some((mapper.clone(), *ii)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let seq_ledger = Ledger::enabled();
+        let seq_cfg = MapConfig {
+            ledger: seq_ledger.clone(),
+            ..MapConfig::fast()
+        };
+        let seq = mapper.map(&dfg, &fabric, &seq_cfg).unwrap();
+        let par_ledger = Ledger::enabled();
+        let par_cfg = MapConfig {
+            ledger: par_ledger.clone(),
+            ..MapConfig::fast()
+        };
+        let par = parallel_ii(&mapper, &dfg, &fabric, &par_cfg).unwrap();
+        assert_eq!(par.ii, seq.ii);
+        // The engine no longer double-emits on top of the mapper's own
+        // journal: each (mapper, II) attempt appears exactly once, as
+        // in the sequential sweep, so convergence views agree.
+        let par_attempts = attempts(&par_ledger);
+        let mut dedup = par_attempts.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(par_attempts.len(), dedup.len(), "duplicate IiAttempt");
+        assert!(par_attempts.contains(&("modulo-list".to_string(), par.ii)));
+        assert!(attempts(&seq_ledger).contains(&("modulo-list".to_string(), seq.ii)));
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Cross-solve state pool for incremental exact mappers.
+//!
+//! The SAT-MapIt lineage gets most of its speed from *reusing solver
+//! state* between closely related queries: the II=k+1 solve starts from
+//! the clauses (and learnt clauses) of the II=k solve instead of
+//! re-encoding from scratch. [`IncrementalCtx`] is the carrier for that
+//! state: a shared, type-erased pool keyed by mapper, fabric
+//! fingerprint, kernel fingerprint, and the mapper's encoding knobs.
+//!
+//! ## Contract
+//!
+//! * An entry is only ever valid for the exact `(mapper, fabric_fp,
+//!   kernel_fp, knobs)` it was stored under; any change to the fabric
+//!   (via [`TopologyCache::fingerprint64`]) or the kernel (via
+//!   [`kernel_fingerprint`]) produces a different key, so stale state
+//!   is never replayed — it is simply never found.
+//! * `take` removes the entry; the caller owns the state while solving
+//!   and `put`s it back when done. Concurrent takers of the same key
+//!   therefore never share a live solver: the second taker misses and
+//!   falls back to a cold start.
+//! * States are opaque (`Box<dyn Any + Send>`); a mapper that changes
+//!   its encoding between versions should change its `knobs` word so
+//!   old state is dropped on downcast failure rather than misused.
+//!
+//! [`TopologyCache::fingerprint64`]: cgra_arch::TopologyCache::fingerprint64
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use cgra_ir::Dfg;
+
+/// Identity of one reusable solver context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IncrKey {
+    /// Registry name of the owning mapper (`"sat"`, `"ilp"`, …).
+    pub mapper: &'static str,
+    /// [`TopologyCache::fingerprint64`](cgra_arch::TopologyCache::fingerprint64)
+    /// of the fabric the state was built for.
+    pub fabric_fp: u64,
+    /// [`kernel_fingerprint`] of the DFG the state was built for.
+    pub kernel_fp: u64,
+    /// Digest of whatever encoding knobs affect clause/row layout
+    /// (position caps, window sizes, AMO encoding, …).
+    pub knobs: u64,
+}
+
+/// Shared pool of opaque solver states, cloneable by refcount so one
+/// pool can ride inside `MapConfig` across per-II jobs and re-mapping
+/// calls.
+#[derive(Clone, Default)]
+pub struct IncrementalCtx {
+    pool: Arc<Mutex<HashMap<IncrKey, Box<dyn Any + Send>>>>,
+}
+
+impl IncrementalCtx {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove and return the state stored under `key`, if any.
+    pub fn take(&self, key: &IncrKey) -> Option<Box<dyn Any + Send>> {
+        self.pool.lock().ok()?.remove(key)
+    }
+
+    /// Remove the state under `key` and downcast it to `T`. State of
+    /// the wrong type (an encoding change without a `knobs` bump) is
+    /// dropped, forcing a clean cold start.
+    pub fn take_as<T: 'static>(&self, key: &IncrKey) -> Option<Box<T>> {
+        self.take(key).and_then(|b| b.downcast::<T>().ok())
+    }
+
+    /// Store `state` under `key`, replacing any previous entry.
+    pub fn put(&self, key: IncrKey, state: Box<dyn Any + Send>) {
+        if let Ok(mut pool) = self.pool.lock() {
+            pool.insert(key, state);
+        }
+    }
+
+    /// Number of pooled states (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.pool.lock().map(|p| p.len()).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for IncrementalCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IncrementalCtx({} pooled)", self.len())
+    }
+}
+
+/// Content hash of a kernel DFG: name, operations, and the full edge
+/// list (ports, distances, initial values). Two DFGs with equal
+/// fingerprints produce identical encodings in every exact mapper.
+/// Stable within a process; not a cross-process format.
+pub fn kernel_fingerprint(dfg: &Dfg) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    dfg.name.hash(&mut h);
+    dfg.node_count().hash(&mut h);
+    for (id, node) in dfg.nodes() {
+        id.0.hash(&mut h);
+        // OpKind carries no Hash impl (it can embed floats via edge
+        // init values elsewhere); the Debug form is canonical enough
+        // for an in-process cache key.
+        format!("{:?}", node.op).hash(&mut h);
+    }
+    for (_, e) in dfg.edges() {
+        (e.src.0, e.dst.0, e.port, e.dist).hash(&mut h);
+        format!("{:?}", e.init).hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_ir::kernels;
+
+    #[test]
+    fn take_removes_and_put_restores() {
+        let ctx = IncrementalCtx::new();
+        let key = IncrKey {
+            mapper: "sat",
+            fabric_fp: 1,
+            kernel_fp: 2,
+            knobs: 3,
+        };
+        assert!(ctx.take_as::<u32>(&key).is_none());
+        ctx.put(key, Box::new(7u32));
+        assert_eq!(ctx.len(), 1);
+        assert_eq!(*ctx.take_as::<u32>(&key).unwrap(), 7);
+        assert!(ctx.is_empty(), "take must remove the entry");
+    }
+
+    #[test]
+    fn wrong_type_is_dropped_not_returned() {
+        let ctx = IncrementalCtx::new();
+        let key = IncrKey {
+            mapper: "ilp",
+            fabric_fp: 0,
+            kernel_fp: 0,
+            knobs: 0,
+        };
+        ctx.put(key, Box::new("stale".to_string()));
+        assert!(ctx.take_as::<u64>(&key).is_none());
+        assert!(ctx.is_empty(), "mismatched state must be dropped");
+    }
+
+    #[test]
+    fn kernel_fingerprints_separate_kernels() {
+        let a = kernel_fingerprint(&kernels::dot_product());
+        let b = kernel_fingerprint(&kernels::fir(4));
+        let a2 = kernel_fingerprint(&kernels::dot_product());
+        assert_eq!(a, a2, "fingerprint must be deterministic");
+        assert_ne!(a, b, "distinct kernels must not collide");
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones() {
+        let ctx = IncrementalCtx::new();
+        let clone = ctx.clone();
+        let key = IncrKey {
+            mapper: "sat",
+            fabric_fp: 9,
+            kernel_fp: 9,
+            knobs: 9,
+        };
+        clone.put(key, Box::new(1u8));
+        assert_eq!(*ctx.take_as::<u8>(&key).unwrap(), 1);
+    }
+}

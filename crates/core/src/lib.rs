@@ -35,6 +35,7 @@
 
 pub mod ctrlflow;
 pub mod engine;
+pub mod incremental;
 pub mod ledger;
 pub mod mapper;
 pub mod mappers;
@@ -50,6 +51,7 @@ pub mod telemetry;
 pub mod validate;
 
 pub use engine::{parallel_ii, race, Budget, CancelToken, RaceOutcome};
+pub use incremental::{kernel_fingerprint, IncrKey, IncrementalCtx};
 pub use ledger::{EventKind, Ledger, LedgerEvent, RunLedger};
 pub use mapper::{ConfigError, Family, MapConfig, MapConfigBuilder, MapError, Mapper};
 pub use mapping::{Mapping, Placement, Route};
@@ -62,6 +64,7 @@ pub use validate::{validate, validate_with, ValidationError};
 /// Everything a mapper user needs.
 pub mod prelude {
     pub use crate::engine::{parallel_ii, race, Budget, CancelToken, RaceOutcome};
+    pub use crate::incremental::{kernel_fingerprint, IncrKey, IncrementalCtx};
     pub use crate::ledger::{EventKind, Ledger, LedgerEvent, RunLedger};
     pub use crate::mapper::{ConfigError, Family, MapConfig, MapConfigBuilder, MapError, Mapper};
     pub use crate::mappers::*;

@@ -7,7 +7,7 @@
 //! solved by the AC-3 + MRV engine of [`cgra_solver::CpModel`]. A
 //! CEGAR loop blocks placements the router cannot realise.
 
-use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
+use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace, SweepSpace};
 use crate::engine::Budget;
 use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
@@ -44,6 +44,7 @@ impl CpMapper {
         dfg: &Dfg,
         fabric: &Fabric,
         ii: u32,
+        space: &PositionSpace,
         topo: &Arc<TopologyCache>,
         budget: &Budget,
         tele: &Telemetry,
@@ -52,7 +53,6 @@ impl CpMapper {
         tele.bump(Counter::IiAttempts);
         ledger.ii_attempt("cp", ii);
         let _span = tele.span_ii(Phase::Map, ii);
-        let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, self.position_cap);
         let mut blocked: Vec<Vec<(PeId, u32)>> = Vec::new();
 
         for round in 0..self.cegar_rounds.max(1) {
@@ -174,8 +174,29 @@ impl Mapper for CpMapper {
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
-        for ii in min_ii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry, &cfg.ledger) {
+        // Incremental sweeps build the union space once and view each
+        // II's lists out of it, so the II-independent structural work
+        // (ASAP levels, capability filtering, window sorting) is not
+        // redone per II.
+        let iis: Vec<u32> = (min_ii..=max_ii).collect();
+        let sweep = cfg
+            .incremental
+            .then(|| SweepSpace::build(dfg, fabric, &iis, self.window_iis, self.position_cap));
+        for (k, &ii) in iis.iter().enumerate() {
+            let space = match &sweep {
+                Some(s) => s.per_ii(k),
+                None => PositionSpace::build(dfg, fabric, ii, self.window_iis, self.position_cap),
+            };
+            match self.try_ii(
+                dfg,
+                fabric,
+                ii,
+                &space,
+                &topo,
+                &budget,
+                &cfg.telemetry,
+                &cfg.ledger,
+            ) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),

@@ -143,6 +143,99 @@ pub(crate) fn add_solver_stats(tele: &Telemetry, s: SolverStats) {
     tele.add(Counter::SolverPropagations, s.propagations);
     tele.add(Counter::SolverConflicts, s.conflicts);
     tele.add(Counter::SolverRestarts, s.restarts);
+    tele.add(Counter::SolverAssumptionSolves, s.assumption_solves);
+    tele.add(Counter::SolverLearntKept, s.learnt_kept);
+    tele.add(Counter::SolverLearntGcd, s.learnt_gcd);
+    tele.add(Counter::SolverWarmPivotsSaved, s.warm_pivots_saved);
+}
+
+/// The union position space of an II sweep: per-II candidate lists
+/// (each computed exactly as the from-scratch [`PositionSpace`] would)
+/// merged into one deduplicated list per op, with membership indices
+/// back into the union. Incremental mappers encode II-independent
+/// structure once over the union and guard per-II constraints by
+/// selector literals over each II's membership set.
+pub(crate) struct SweepSpace {
+    /// Candidate IIs covered, ascending.
+    pub iis: Vec<u32>,
+    /// `union[op]` = deduplicated candidates across every covered II.
+    pub union: Vec<Vec<Pos>>,
+    /// `member[k][op]` = indices into `union[op]` of the candidates
+    /// that II `iis[k]`'s own space contains, in that space's order.
+    pub member: Vec<Vec<Vec<usize>>>,
+}
+
+impl SweepSpace {
+    pub fn build(
+        dfg: &Dfg,
+        fabric: &Fabric,
+        iis: &[u32],
+        window_iis: u32,
+        cap: Option<usize>,
+    ) -> Self {
+        use std::collections::HashMap;
+        let spaces: Vec<PositionSpace> = iis
+            .iter()
+            .map(|&ii| PositionSpace::build(dfg, fabric, ii, window_iis, cap))
+            .collect();
+        let nops = dfg.node_count();
+        let mut union: Vec<Vec<Pos>> = vec![Vec::new(); nops];
+        let mut index: Vec<HashMap<Pos, usize>> = vec![HashMap::new(); nops];
+        for sp in &spaces {
+            for (op, list) in sp.positions.iter().enumerate() {
+                for &p in list {
+                    index[op].entry(p).or_insert_with(|| {
+                        union[op].push(p);
+                        union[op].len() - 1
+                    });
+                }
+            }
+        }
+        let member = spaces
+            .iter()
+            .map(|sp| {
+                sp.positions
+                    .iter()
+                    .enumerate()
+                    .map(|(op, list)| list.iter().map(|p| index[op][p]).collect())
+                    .collect()
+            })
+            .collect();
+        SweepSpace {
+            iis: iis.to_vec(),
+            union,
+            member,
+        }
+    }
+
+    /// Materialise II `iis[k]`'s own position space from the union —
+    /// identical, list for list, to what the from-scratch
+    /// [`PositionSpace::build`] would produce for that II. Mappers that
+    /// cannot hold solver state across IIs still reuse the
+    /// II-independent structural work (ASAP levels, capability
+    /// filtering, window sorting) through this view.
+    pub fn per_ii(&self, k: usize) -> PositionSpace {
+        PositionSpace {
+            ii: self.iis[k],
+            positions: self.member[k]
+                .iter()
+                .enumerate()
+                .map(|(op, ms)| ms.iter().map(|&u| self.union[op][u]).collect())
+                .collect(),
+        }
+    }
+}
+
+/// Per-op supported-PE bitsets (`caps[op][pe]`): the II- and
+/// horizon-independent capability layer shared by every exact encoding,
+/// computed once per `map()` call instead of once per probe.
+pub(crate) fn capability_bitsets(dfg: &Dfg, fabric: &Fabric) -> Vec<Vec<bool>> {
+    dfg.node_ids()
+        .map(|n| {
+            let op = dfg.op(n);
+            fabric.pe_ids().map(|pe| fabric.supports(pe, op)).collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -185,6 +278,34 @@ mod tests {
         for &(pe, _) in &ps.positions[2] {
             let (_, c) = f.coords(pe);
             assert_eq!(c % 2, 0);
+        }
+    }
+
+    #[test]
+    fn sweep_space_per_ii_matches_from_scratch() {
+        // The key lemma behind the incremental mappers' identical-II
+        // guarantee: each II's view of the union equals the space a
+        // from-scratch encoding would build.
+        let dfg = kernels::fir(4);
+        let f = Fabric::homogeneous(4, 4, Topology::Mesh);
+        let iis = [2u32, 3, 4];
+        let sweep = SweepSpace::build(&dfg, &f, &iis, 2, Some(16));
+        for (k, &ii) in iis.iter().enumerate() {
+            let fresh = PositionSpace::build(&dfg, &f, ii, 2, Some(16));
+            assert_eq!(sweep.per_ii(k).positions, fresh.positions, "II {ii}");
+        }
+    }
+
+    #[test]
+    fn capability_bitsets_match_fabric_support() {
+        let dfg = kernels::dot_product();
+        let f = Fabric::adres_like(4, 4);
+        let caps = capability_bitsets(&dfg, &f);
+        assert_eq!(caps.len(), dfg.node_count());
+        for (n, row) in dfg.node_ids().zip(&caps) {
+            for (pe, &ok) in f.pe_ids().zip(row) {
+                assert_eq!(ok, f.supports(pe, dfg.op(n)));
+            }
         }
     }
 

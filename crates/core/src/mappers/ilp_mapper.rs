@@ -8,17 +8,34 @@
 //! ([`cgra_solver::IlpModel`]) proves optimality of the objective
 //! (earliest schedule, shortest wires) within the candidate space; a
 //! CEGAR loop handles register congestion the linear model cannot see.
+//!
+//! ## Incremental solving
+//!
+//! In incremental mode ([`MapConfig::incremental`]) the CEGAR loop
+//! keeps one persistent model per II: each round appends a blocking row
+//! and re-solves, warm-starting the root relaxation from the basis of
+//! the placement that just failed to route — one row away. Between
+//! `map()` calls the mapper parks its state in
+//! [`MapConfig::incr`](crate::IncrementalCtx): completed per-II
+//! infeasibility proofs (re-answered without a solve) and the achieved
+//! II's model, root basis, and accepted assignment. A re-map of the
+//! same kernel on the same fabric re-enters the solver with the old
+//! optimum as a validated warm incumbent, turning the solve into a
+//! bound-pruned optimality proof. From-scratch mode re-encodes the
+//! model every CEGAR round and never touches the pool; both paths
+//! explore the same candidate spaces and achieve identical IIs.
 
 use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
 use crate::engine::Budget;
+use crate::incremental::{kernel_fingerprint, IncrKey};
 use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::Dfg;
-use cgra_solver::{Cmp, IlpModel, IlpResult, IlpVar, IncumbentHook};
-use std::collections::HashMap;
+use cgra_solver::{Cmp, IlpModel, IlpResult, IlpVar, IlpWarmStart, IncumbentHook};
+use std::collections::{BTreeMap, HashSet};
 use std::time::Duration;
 
 /// The ILP mapper.
@@ -40,7 +57,49 @@ impl Default for IlpMapper {
     }
 }
 
+/// Solver state pooled across `map()` calls (see
+/// [`crate::IncrementalCtx`]).
+#[derive(Default)]
+struct IlpPool {
+    /// IIs with a *completed* infeasibility proof — an empty candidate
+    /// space or an exhausted branch-and-bound refutation. Budget stops
+    /// and CEGAR round caps are never cached.
+    infeasible: HashSet<u32>,
+    /// The achieved II's solver state, re-entered warm on a re-map.
+    solved: Option<Box<IlpSolved>>,
+}
+
+/// A solved II: the persistent model with every CEGAR blocking row,
+/// the root basis of its last solve, and the accepted assignment.
+struct IlpSolved {
+    ii: u32,
+    model: IlpModel,
+    vars: Vec<Vec<IlpVar>>,
+    warm: IlpWarmStart,
+}
+
+/// Outcome of one II attempt.
+enum TryIi {
+    Mapped(Mapping, Option<Box<IlpSolved>>),
+    /// Proven infeasible at this II (cacheable across calls).
+    Infeasible,
+    /// Gave up (CEGAR round cap) without a proof.
+    Unknown,
+}
+
 impl IlpMapper {
+    /// Digest of every knob that shapes the encoding; part of the
+    /// [`IncrKey`] so pooled state never outlives an encoding change.
+    fn knobs(&self, min_ii: u32, max_ii: u32) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.position_cap.hash(&mut h);
+        self.cegar_rounds.hash(&mut h);
+        self.window_iis.hash(&mut h);
+        (min_ii, max_ii).hash(&mut h);
+        h.finish()
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn try_ii(
         &self,
@@ -51,17 +110,31 @@ impl IlpMapper {
         budget: &Budget,
         tele: &Telemetry,
         ledger: &Ledger,
-    ) -> Result<Option<Mapping>, MapError> {
+        incremental: bool,
+        pooled: Option<Box<IlpSolved>>,
+    ) -> Result<TryIi, MapError> {
         tele.bump(Counter::IiAttempts);
         ledger.ii_attempt("ilp", ii);
         let _span = tele.span_ii(Phase::Map, ii);
         let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, Some(self.position_cap));
-        let mut blocked: Vec<Vec<(PeId, u32)>> = Vec::new();
+        if space.positions.iter().any(|ps| ps.is_empty()) {
+            return Ok(TryIi::Infeasible);
+        }
 
-        for _ in 0..self.cegar_rounds.max(1) {
-            if budget.expired_now() {
-                return Err(budget.error());
-            }
+        let hook = || {
+            let led = ledger.clone();
+            let tel = tele.clone();
+            // Surface the solver's anytime incumbents (improving
+            // integral solutions) straight into the run ledger.
+            IncumbentHook::new(move |obj| {
+                tel.bump(Counter::Incumbents);
+                led.incumbent("ilp", ii, obj);
+            })
+        };
+        // Encode the assignment at this II: one binary per candidate
+        // position, exactly-one per op, per-(pe, slot) exclusivity, and
+        // per-edge reachability rows.
+        let encode = || {
             let mut model = IlpModel::new(false); // minimise
             let vars: Vec<Vec<IlpVar>> = space
                 .positions
@@ -79,15 +152,14 @@ impl IlpMapper {
                 })
                 .collect();
 
-            for (o, ovars) in vars.iter().enumerate() {
-                if ovars.is_empty() {
-                    return Ok(None);
-                }
-                let _ = o;
+            for ovars in &vars {
                 model.exactly_one(ovars);
             }
 
-            let mut by_slot: HashMap<(PeId, u32), Vec<IlpVar>> = HashMap::new();
+            // BTreeMap: row order must not depend on the process hash
+            // seed, or simplex pivot order (and with it the whole B&B
+            // trajectory) varies run to run.
+            let mut by_slot: BTreeMap<(PeId, u32), Vec<IlpVar>> = BTreeMap::new();
             for (o, ps) in space.positions.iter().enumerate() {
                 for (k, &(pe, t)) in ps.iter().enumerate() {
                     by_slot.entry((pe, t % ii)).or_default().push(vars[o][k]);
@@ -116,64 +188,144 @@ impl IlpMapper {
                 }
             }
 
-            // CEGAR blocking rows: a previously failed placement may
-            // not be fully re-selected (sum of its choices ≤ n-1).
-            for bl in &blocked {
+            model.set_interrupt(budget.interrupt());
+            model.set_on_incumbent(hook());
+            (model, vars)
+        };
+
+        // Incremental mode keeps one persistent model: CEGAR rounds
+        // append a blocking row and re-solve it, warm-started. A pooled
+        // model from a previous map() call re-enters with its root
+        // basis and the old optimum as a validated warm incumbent.
+        // From-scratch mode re-encodes the whole model every round
+        // (with all blocking rows re-added) — the baseline the
+        // incremental path is measured against.
+        let mut warm = IlpWarmStart::default();
+        let mut persistent = match pooled {
+            Some(s) if incremental && s.ii == ii => {
+                let s = *s;
+                let mut model = s.model;
+                model.set_interrupt(budget.interrupt());
+                model.set_on_incumbent(hook());
+                warm = s.warm;
+                Some((model, s.vars))
+            }
+            _ => incremental.then(&encode),
+        };
+        let mut blocked: Vec<Vec<(IlpVar, f64)>> = Vec::new();
+        let mut proven = false;
+        let result: Result<Option<(Mapping, Vec<bool>)>, MapError> = 'cegar: {
+            for _ in 0..self.cegar_rounds.max(1) {
+                if budget.expired_now() {
+                    break 'cegar Err(budget.error());
+                }
+                let mut scratch = None;
+                let from_scratch = persistent.is_none();
+                let (model, vars) = match persistent.as_mut() {
+                    Some(mv) => mv,
+                    None => {
+                        let mv = scratch.insert(encode());
+                        for row in &blocked {
+                            mv.0.add_constraint(row, Cmp::Le, row.len() as f64 - 1.0);
+                        }
+                        mv
+                    }
+                };
+                let (result, basis) = model.solve_warm(
+                    cgra_solver::ilp::IlpConfig {
+                        time_limit: budget.remaining().unwrap_or(Duration::MAX),
+                        node_limit: 4_000,
+                        warm_lp: incremental,
+                    },
+                    Some(&warm),
+                );
+                warm.basis = basis;
+                // A warm incumbent is only valid for the solve it was
+                // recorded against; the blocking row below cuts it off.
+                warm.incumbent = None;
+                if from_scratch {
+                    // A from-scratch round's model dies with the round;
+                    // record its work now. (The persistent model keeps
+                    // accumulating and is flushed once, below.)
+                    add_solver_stats(tele, model.stats());
+                }
+                let values = match result {
+                    IlpResult::Optimal { values, .. } => values,
+                    IlpResult::Infeasible => {
+                        proven = true;
+                        break 'cegar Ok(None);
+                    }
+                    IlpResult::Budget {
+                        values: Some(v), ..
+                    } => v,
+                    IlpResult::Budget { values: None, .. } => break 'cegar Err(budget.error()),
+                };
+                // Decode.
+                let mut chosen: Vec<(PeId, u32)> = Vec::with_capacity(dfg.node_count());
+                let mut var_index = 0usize;
+                let mut complete = true;
+                for ps in &space.positions {
+                    let mut pick = None;
+                    for (k, &pos) in ps.iter().enumerate() {
+                        if values[var_index + k] {
+                            pick = Some(pos);
+                        }
+                    }
+                    var_index += ps.len();
+                    match pick {
+                        Some(p) => chosen.push(p),
+                        None => complete = false, // should not happen
+                    }
+                }
+                if !complete {
+                    break 'cegar Ok(None);
+                }
+                if let Some(m) = realise(dfg, fabric, topo, ii, &chosen, tele) {
+                    break 'cegar Ok(Some((m, values)));
+                }
+                // Block this exact placement (sum of its choices ≤ n-1).
+                // Incremental: appended to the live model. From-scratch:
+                // remembered and re-added to the next round's rebuild.
                 let mut row: Vec<(IlpVar, f64)> = Vec::new();
-                for (o, &pos) in bl.iter().enumerate() {
+                for (o, &pos) in chosen.iter().enumerate() {
                     if let Some(k) = space.positions[o].iter().position(|&p| p == pos) {
                         row.push((vars[o][k], 1.0));
                     }
                 }
-                model.add_constraint(&row, Cmp::Le, bl.len() as f64 - 1.0);
+                model.add_constraint(&row, Cmp::Le, row.len() as f64 - 1.0);
+                blocked.push(row);
             }
-
-            model.set_interrupt(budget.interrupt());
-            // Surface the solver's anytime incumbents (improving
-            // integral solutions) straight into the run ledger.
-            {
-                let led = ledger.clone();
-                let tel = tele.clone();
-                model.set_on_incumbent(IncumbentHook::new(move |obj| {
-                    tel.bump(Counter::Incumbents);
-                    led.incumbent("ilp", ii, obj);
-                }));
-            }
-            let result = model.solve_with(cgra_solver::ilp::IlpConfig {
-                time_limit: budget.remaining().unwrap_or(Duration::MAX),
-                node_limit: 4_000,
-            });
+            Ok(None)
+        };
+        if let Some((model, _)) = &persistent {
             add_solver_stats(tele, model.stats());
-            let values = match result {
-                IlpResult::Optimal { values, .. } => values,
-                IlpResult::Infeasible => return Ok(None),
-                IlpResult::Budget {
-                    values: Some(v), ..
-                } => v,
-                IlpResult::Budget { values: None, .. } => return Err(budget.error()),
-            };
-            // Decode.
-            let mut chosen: Vec<(PeId, u32)> = Vec::with_capacity(dfg.node_count());
-            let mut var_index = 0usize;
-            for ps in &space.positions {
-                let mut pick = None;
-                for (k, &pos) in ps.iter().enumerate() {
-                    if values[var_index + k] {
-                        pick = Some(pos);
-                    }
-                }
-                var_index += ps.len();
-                match pick {
-                    Some(p) => chosen.push(p),
-                    None => return Ok(None), // should not happen
-                }
-            }
-            if let Some(m) = realise(dfg, fabric, topo, ii, &chosen, tele) {
-                return Ok(Some(m));
-            }
-            blocked.push(chosen);
         }
-        Ok(None)
+        match result {
+            Err(e) => Err(e),
+            Ok(Some((m, values))) => {
+                // Pool the incumbent but NOT the basis: a replayed basis
+                // can land the root relaxation on a different optimal
+                // vertex, which reorders the branching and (measured)
+                // can blow the tree up by orders of magnitude. A cold
+                // root keeps the re-map trajectory identical to the
+                // from-scratch one, and the incumbent then prunes it to
+                // a subset.
+                let solved = persistent.map(|(model, vars)| {
+                    Box::new(IlpSolved {
+                        ii,
+                        model,
+                        vars,
+                        warm: IlpWarmStart {
+                            basis: None,
+                            incumbent: Some(values),
+                        },
+                    })
+                });
+                Ok(TryIi::Mapped(m, solved))
+            }
+            Ok(None) if proven => Ok(TryIi::Infeasible),
+            Ok(None) => Ok(TryIi::Unknown),
+        }
     }
 }
 
@@ -193,12 +345,65 @@ impl Mapper for IlpMapper {
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
+        let key = IncrKey {
+            mapper: "ilp",
+            fabric_fp: topo.fingerprint64(),
+            kernel_fp: kernel_fingerprint(dfg),
+            knobs: self.knobs(min_ii, max_ii),
+        };
+        let mut pool: Box<IlpPool> = if cfg.incremental {
+            cfg.incr.take_as::<IlpPool>(&key).unwrap_or_default()
+        } else {
+            Box::default()
+        };
         for ii in min_ii..=max_ii {
-            match self.try_ii(dfg, fabric, ii, &topo, &budget, &cfg.telemetry, &cfg.ledger) {
-                Ok(Some(m)) => return Ok(m),
-                Ok(None) => {}
-                Err(e) => return Err(e),
+            if cfg.incremental && pool.infeasible.contains(&ii) {
+                // Answered from the pooled proof; keep the observable
+                // sweep ledger identical to an uncached run.
+                cfg.telemetry.bump(Counter::IiAttempts);
+                cfg.ledger.ii_attempt("ilp", ii);
+                continue;
             }
+            let pooled = if pool.solved.as_ref().is_some_and(|s| s.ii == ii) {
+                pool.solved.take()
+            } else {
+                None
+            };
+            let out = self.try_ii(
+                dfg,
+                fabric,
+                ii,
+                &topo,
+                &budget,
+                &cfg.telemetry,
+                &cfg.ledger,
+                cfg.incremental,
+                pooled,
+            );
+            match out {
+                Ok(TryIi::Mapped(m, solved)) => {
+                    if cfg.incremental {
+                        pool.solved = solved;
+                        cfg.incr.put(key, pool);
+                    }
+                    return Ok(m);
+                }
+                Ok(TryIi::Infeasible) => {
+                    pool.infeasible.insert(ii);
+                }
+                Ok(TryIi::Unknown) => {}
+                Err(e) => {
+                    // Completed proofs stay valid; park them before
+                    // surfacing the budget error.
+                    if cfg.incremental {
+                        cfg.incr.put(key, pool);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if cfg.incremental {
+            cfg.incr.put(key, pool);
         }
         Err(MapError::Infeasible(format!(
             "ILP infeasible for every II in {min_ii}..={max_ii} (candidate window)"
@@ -222,6 +427,39 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
             validate(&m, &dfg, &f).unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
         }
+    }
+
+    #[test]
+    fn warm_and_cold_ilp_mapper_agree_on_ii() {
+        let f = Fabric::homogeneous(3, 3, Topology::Mesh);
+        for dfg in [kernels::dot_product(), kernels::accumulate()] {
+            let warm = IlpMapper::default()
+                .map(&dfg, &f, &MapConfig::fast())
+                .unwrap();
+            let cold_cfg = MapConfig {
+                incremental: false,
+                ..MapConfig::fast()
+            };
+            let cold = IlpMapper::default().map(&dfg, &f, &cold_cfg).unwrap();
+            assert_eq!(warm.ii, cold.ii, "{} diverged", dfg.name);
+        }
+    }
+
+    #[test]
+    fn remap_reuses_pooled_state_and_agrees_on_ii() {
+        // A second map() with the same config must answer from the
+        // pooled model (warm incumbent + cached proofs) and land on the
+        // same II as the first.
+        let f = Fabric::homogeneous(3, 3, Topology::Mesh);
+        let cfg = MapConfig::fast();
+        let dfg = kernels::dot_product();
+        let mapper = IlpMapper::default();
+        let first = mapper.map(&dfg, &f, &cfg).unwrap();
+        assert!(!cfg.incr.is_empty(), "success must park pooled state");
+        let second = mapper.map(&dfg, &f, &cfg).unwrap();
+        assert_eq!(first.ii, second.ii);
+        validate(&second, &dfg, &f).unwrap();
+        assert!(!cfg.incr.is_empty(), "remap must re-park pooled state");
     }
 
     #[test]

@@ -8,9 +8,32 @@
 //! materialised, and a routing failure (register congestion the
 //! encoding cannot see) blocks that exact placement with a no-good
 //! clause and re-solves — a CEGAR loop.
+//!
+//! ## Incremental II sweep
+//!
+//! With `MapConfig::incremental` (the default) the bottom-up sweep uses
+//! *one* persistent solver per [`SWEEP_CHUNK`]-sized run of adjacent
+//! candidate IIs instead of a fresh encoding per II (chunking keeps the
+//! union encoding proportional to the IIs actually visited — a kernel
+//! feasible at `min_ii` never pays for the tail of the sweep). Within a
+//! chunk, variables range over the union of its IIs' candidate spaces
+//! ([`SweepSpace`]), built once per chunk; each II's constraints are
+//! encoded lazily under a per-II selector literal and activated by
+//! [`SatSolver::solve_with_assumptions`]. A refuted II retires its
+//! selector permanently, CEGAR no-goods accumulate under the selector
+//! of the II they belong to, and variable activities and saved phases
+//! carry from the II=k refutation into the II=k+1 search. The solver is
+//! parked in [`MapConfig::incr`](crate::IncrementalCtx) between calls,
+//! keyed by fabric fingerprint, kernel fingerprint, and the encoding
+//! knobs, so re-mapping the same kernel resumes with every layer
+//! already encoded, every learnt clause intact, and refuted IIs
+//! answered without a solve. Each II's own candidate list inside the
+//! union is exactly the from-scratch [`PositionSpace`], so both paths
+//! see the same feasible set per II and achieve identical IIs.
 
-use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
+use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace, SweepSpace};
 use crate::engine::Budget;
+use crate::incremental::{kernel_fingerprint, IncrKey};
 use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
@@ -18,8 +41,8 @@ use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId, TopologyCache};
 use cgra_ir::Dfg;
 use cgra_solver::cnf::{at_most_one, exactly_one, AmoEncoding};
-use cgra_solver::{Lit, SatResult, SatSolver};
-use std::collections::HashMap;
+use cgra_solver::{Interrupt, Lit, SatResult, SatSolver};
+use std::collections::BTreeMap;
 
 /// The SAT mapper.
 #[derive(Debug, Clone)]
@@ -44,7 +67,292 @@ impl Default for SatMapper {
     }
 }
 
+/// Adjacent IIs share one persistent solver in runs of this size. The
+/// chunk bounds the union encoding (and the structural exactly-one)
+/// while still letting learnt clauses from the II=k refutation prune
+/// II=k+1; sweeps that exhaust a chunk roll into the next one cold.
+const SWEEP_CHUNK: usize = 4;
+
+/// Reusable cross-II solver state for the incremental sweep: one CDCL
+/// instance holding the union-space structural encoding, the per-II
+/// selector-guarded layers encoded so far, and every learnt clause.
+struct SweepState {
+    solver: SatSolver,
+    space: SweepSpace,
+    /// `vars[op][u]` ⇔ "op sits at union position `u`".
+    vars: Vec<Vec<Lit>>,
+    /// One selector literal per candidate II, assumption-activated.
+    sels: Vec<Lit>,
+    /// Which II layers have been encoded into the solver.
+    encoded: Vec<bool>,
+    /// IIs proven UNSAT (their selector has been retired).
+    infeasible: Vec<bool>,
+}
+
 impl SatMapper {
+    /// Digest of every knob that shapes the incremental encoding; part
+    /// of the [`IncrKey`] so state never outlives an encoding change.
+    fn knobs(&self, min_ii: u32, max_ii: u32) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{:?}", self.amo).hash(&mut h);
+        self.position_cap.hash(&mut h);
+        self.window_iis.hash(&mut h);
+        (min_ii, max_ii).hash(&mut h);
+        h.finish()
+    }
+
+    /// Cold-start a sweep state: variables over the union of the
+    /// chunk's candidate spaces, one selector per II. All constraints —
+    /// including each II's exactly-one — live in the guarded per-II
+    /// layers ([`Self::encode_layer`]), so an II the sweep never reaches
+    /// costs nothing beyond its share of (unconstrained) variables.
+    fn build_state(&self, dfg: &Dfg, fabric: &Fabric, iis: &[u32]) -> SweepState {
+        let space = SweepSpace::build(dfg, fabric, iis, self.window_iis, self.position_cap);
+        let mut solver = SatSolver::new();
+        let vars: Vec<Vec<Lit>> = space
+            .union
+            .iter()
+            .map(|ps| ps.iter().map(|_| Lit::pos(solver.new_var())).collect())
+            .collect();
+        let sels: Vec<Lit> = iis.iter().map(|_| solver.new_selector()).collect();
+        SweepState {
+            solver,
+            space,
+            vars,
+            sels,
+            encoded: vec![false; iis.len()],
+            infeasible: vec![false; iis.len()],
+        }
+    }
+
+    /// Encode II layer `k` under its selector: union positions outside
+    /// this II's window are forbidden, plus FU exclusivity per modulo
+    /// slot and per-edge reachability over this II's candidates.
+    fn encode_layer(
+        &self,
+        st: &mut SweepState,
+        k: usize,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        topo: &TopologyCache,
+    ) {
+        let ii = st.space.iis[k];
+        let sel = st.sels[k];
+        for (op, members) in st.space.member[k].iter().enumerate() {
+            let mut keep = vec![false; st.space.union[op].len()];
+            for &u in members {
+                keep[u] = true;
+            }
+            // Union positions outside this II's window are forbidden,
+            // so under this selector the variable space collapses to
+            // exactly the from-scratch per-II candidate lists.
+            for (u, keep) in keep.iter().enumerate() {
+                if !keep {
+                    st.solver.add_clause_under(sel, &[st.vars[op][u].negate()]);
+                }
+            }
+            // Exactly one of this II's candidates per op: at-least-one
+            // over the members, at-most-one pairwise (the guarded twin
+            // of the from-scratch default encoding).
+            let lits: Vec<Lit> = members.iter().map(|&u| st.vars[op][u]).collect();
+            st.solver.add_clause_under(sel, &lits);
+            for i in 0..lits.len() {
+                for j in i + 1..lits.len() {
+                    st.solver
+                        .add_clause_under(sel, &[lits[i].negate(), lits[j].negate()]);
+                }
+            }
+        }
+        // FU exclusivity: at most one op per (pe, slot), pairwise under
+        // the guard (each II's slot lists are position-cap sized, the
+        // same as the from-scratch pairwise encoding).
+        let mut by_slot: BTreeMap<(PeId, u32), Vec<Lit>> = BTreeMap::new();
+        for (op, members) in st.space.member[k].iter().enumerate() {
+            for &u in members {
+                let (pe, t) = st.space.union[op][u];
+                by_slot
+                    .entry((pe, t % ii))
+                    .or_default()
+                    .push(st.vars[op][u]);
+            }
+        }
+        for lits in by_slot.values() {
+            for i in 0..lits.len() {
+                for j in i + 1..lits.len() {
+                    st.solver
+                        .add_clause_under(sel, &[lits[i].negate(), lits[j].negate()]);
+                }
+            }
+        }
+        // Edge implications: src at a → dst somewhere compatible.
+        for (_, e) in dfg.edges() {
+            let src_op = dfg.op(e.src);
+            for &ua in &st.space.member[k][e.src.index()] {
+                let a = st.space.union[e.src.index()][ua];
+                let mut clause: Vec<Lit> = vec![st.vars[e.src.index()][ua].negate()];
+                for &ub in &st.space.member[k][e.dst.index()] {
+                    if e.src == e.dst && ua != ub {
+                        continue; // self edge: same position both sides
+                    }
+                    let b = st.space.union[e.dst.index()][ub];
+                    if edge_compatible(fabric, topo, ii, src_op, e.dist, a, b) {
+                        clause.push(st.vars[e.dst.index()][ub]);
+                    }
+                }
+                st.solver.add_clause_under(sel, &clause);
+            }
+        }
+    }
+
+    /// One II attempt on the persistent solver: solve under this II's
+    /// selector, realise models, block routing failures under the same
+    /// selector (a no-good at II=k says nothing about II=k+1).
+    #[allow(clippy::too_many_arguments)]
+    fn try_ii_incremental(
+        &self,
+        st: &mut SweepState,
+        k: usize,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        topo: &TopologyCache,
+        budget: &Budget,
+        tele: &Telemetry,
+        ledger: &Ledger,
+    ) -> Result<Option<Mapping>, MapError> {
+        let ii = st.space.iis[k];
+        tele.bump(Counter::IiAttempts);
+        ledger.ii_attempt("sat", ii);
+        let _span = tele.span_ii(Phase::Map, ii);
+        if st.infeasible[k] {
+            return Ok(None);
+        }
+        if st.space.member[k].iter().any(|m| m.is_empty()) {
+            st.infeasible[k] = true;
+            return Ok(None);
+        }
+        let before = st.solver.stats();
+        if !st.encoded[k] {
+            self.encode_layer(st, k, dfg, fabric, topo);
+            st.encoded[k] = true;
+        }
+        let sel = st.sels[k];
+        let result: Result<Option<Mapping>, MapError> = 'cegar: {
+            for round in 0..self.cegar_rounds.max(1) {
+                if budget.expired_now() {
+                    break 'cegar Err(budget.error());
+                }
+                match st.solver.solve_with_assumptions(&[sel]) {
+                    SatResult::Unsat => {
+                        st.solver.retire_selector(sel);
+                        st.infeasible[k] = true;
+                        break 'cegar Ok(None);
+                    }
+                    SatResult::Unknown => break 'cegar Err(budget.error()),
+                    SatResult::Sat(model) => {
+                        tele.bump(Counter::Incumbents);
+                        ledger.incumbent("sat", ii, round as f64);
+                        let chosen: Vec<(PeId, u32)> = st.space.member[k]
+                            .iter()
+                            .enumerate()
+                            .map(|(op, members)| {
+                                let u = members
+                                    .iter()
+                                    .copied()
+                                    .find(|&u| model[st.vars[op][u].var().0 as usize])
+                                    .expect("exactly-one guarantees a member choice");
+                                st.space.union[op][u]
+                            })
+                            .collect();
+                        if let Some(m) = realise(dfg, fabric, topo, ii, &chosen, tele) {
+                            break 'cegar Ok(Some(m));
+                        }
+                        // Block this exact placement at this II only.
+                        let blocking: Vec<Lit> = st.space.member[k]
+                            .iter()
+                            .enumerate()
+                            .map(|(op, members)| {
+                                let u = members
+                                    .iter()
+                                    .copied()
+                                    .find(|&u| st.space.union[op][u] == chosen[op])
+                                    .unwrap();
+                                st.vars[op][u].negate()
+                            })
+                            .collect();
+                        st.solver.add_clause_under(sel, &blocking);
+                    }
+                }
+            }
+            Ok(None)
+        };
+        add_solver_stats(tele, st.solver.stats().since(&before));
+        result
+    }
+
+    /// The incremental bottom-up sweep: take (or build) the persistent
+    /// solver, walk the candidate IIs under per-II assumptions, and
+    /// park the state back in the pool for the next call.
+    fn map_incremental(
+        &self,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        cfg: &MapConfig,
+        min_ii: u32,
+        max_ii: u32,
+    ) -> Result<Mapping, MapError> {
+        let topo = cfg.topo_for(fabric);
+        let budget = cfg.run_budget();
+        let all: Vec<u32> = (min_ii..=max_ii).collect();
+        let kernel_fp = kernel_fingerprint(dfg);
+        for chunk in all.chunks(SWEEP_CHUNK) {
+            let key = IncrKey {
+                mapper: "sat",
+                fabric_fp: topo.fingerprint64(),
+                kernel_fp,
+                knobs: self.knobs(chunk[0], *chunk.last().unwrap()),
+            };
+            let mut st = cfg
+                .incr
+                .take_as::<SweepState>(&key)
+                .unwrap_or_else(|| Box::new(self.build_state(dfg, fabric, chunk)));
+            st.solver.interrupt = budget.interrupt();
+            let mut outcome: Option<Result<Mapping, MapError>> = None;
+            for k in 0..chunk.len() {
+                match self.try_ii_incremental(
+                    &mut st,
+                    k,
+                    dfg,
+                    fabric,
+                    &topo,
+                    &budget,
+                    &cfg.telemetry,
+                    &cfg.ledger,
+                ) {
+                    Ok(Some(m)) => {
+                        outcome = Some(Ok(m));
+                        break;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        outcome = Some(Err(e));
+                        break;
+                    }
+                }
+            }
+            // Detach the per-run stop signal before pooling: the budget
+            // dies with this call, the solver state does not.
+            st.solver.interrupt = Interrupt::none();
+            cfg.incr.put(key, st);
+            if let Some(out) = outcome {
+                return out;
+            }
+        }
+        Err(MapError::Infeasible(format!(
+            "UNSAT for every II in {min_ii}..={max_ii} (within the candidate window)"
+        )))
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn try_ii(
         &self,
@@ -79,7 +387,7 @@ impl SatMapper {
         }
 
         // FU exclusivity: at most one op per (pe, slot).
-        let mut by_slot: HashMap<(PeId, u32), Vec<Lit>> = HashMap::new();
+        let mut by_slot: BTreeMap<(PeId, u32), Vec<Lit>> = BTreeMap::new();
         for (o, ps) in space.positions.iter().enumerate() {
             for (k, &(pe, t)) in ps.iter().enumerate() {
                 by_slot.entry((pe, t % ii)).or_default().push(vars[o][k]);
@@ -173,6 +481,9 @@ impl Mapper for SatMapper {
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
         let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
+        if cfg.incremental {
+            return self.map_incremental(dfg, fabric, cfg, min_ii, max_ii);
+        }
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
@@ -204,6 +515,37 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
             validate(&m, &dfg, &f).unwrap_or_else(|e| panic!("{}: {e}", dfg.name));
         }
+    }
+
+    #[test]
+    fn incremental_and_from_scratch_achieve_identical_ii() {
+        // The acceptance bar for the incremental sweep: same achieved
+        // II as the per-II re-encoding, kernel by kernel.
+        let f = Fabric::homogeneous(4, 4, Topology::Mesh);
+        for dfg in kernels::small_suite() {
+            let inc = SatMapper::default().map(&dfg, &f, &MapConfig::fast());
+            let cold_cfg = MapConfig {
+                incremental: false,
+                ..MapConfig::fast()
+            };
+            let cold = SatMapper::default().map(&dfg, &f, &cold_cfg);
+            match (inc, cold) {
+                (Ok(a), Ok(b)) => assert_eq!(a.ii, b.ii, "{} diverged", dfg.name),
+                (a, b) => panic!("{}: {:?} vs {:?}", dfg.name, a.err(), b.err()),
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_state_is_reused_across_calls() {
+        let f = Fabric::homogeneous(4, 4, Topology::Mesh);
+        let dfg = kernels::dot_product();
+        let cfg = MapConfig::fast();
+        let a = SatMapper::default().map(&dfg, &f, &cfg).unwrap();
+        assert_eq!(cfg.incr.len(), 1, "sweep state must be parked");
+        let b = SatMapper::default().map(&dfg, &f, &cfg).unwrap();
+        assert_eq!(a.ii, b.ii, "resumed state must reproduce the II");
+        assert_eq!(cfg.incr.len(), 1, "state must be parked again");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! the horizon, matching the restricted-routing setting of the lineage
 //! paper.
 
-use super::exact_common::add_solver_stats;
+use super::exact_common::{add_solver_stats, capability_bitsets};
 use crate::engine::Budget;
 use crate::ledger::Ledger;
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
@@ -45,6 +45,7 @@ impl SmtMapper {
         dfg: &Dfg,
         fabric: &Fabric,
         horizon: u32,
+        caps: &[Vec<bool>],
         topo: &TopologyCache,
         budget: &Budget,
         tele: &Telemetry,
@@ -58,15 +59,15 @@ impl SmtMapper {
         let mut smt = SmtSolver::new(n + 1);
         let zero = n;
 
-        // Binding selectors.
+        // Binding selectors, gated by the horizon-independent
+        // capability bitsets computed once per map() call.
         let pes: Vec<PeId> = fabric.pe_ids().collect();
-        let sel: Vec<Vec<Lit>> = dfg
-            .node_ids()
-            .map(|id| {
-                let op = dfg.op(id);
-                pes.iter()
-                    .map(|&pe| {
-                        if fabric.supports(pe, op) {
+        let sel: Vec<Vec<Lit>> = caps
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&supported| {
+                        if supported {
                             Lit::pos(smt.sat.new_var())
                         } else {
                             // Unsupported: a fresh var forced false.
@@ -197,11 +198,21 @@ impl Mapper for SmtMapper {
         let cp = graph::critical_path(dfg, &lat).max(1);
         let budget = cfg.run_budget();
         let topo = cfg.topo_for(fabric);
+        let caps = capability_bitsets(dfg, fabric);
 
         let mut horizon = cp.max(cfg.min_ii);
         for _ in 0..self.max_probes.max(1) {
             let h = horizon.min(fabric.context_depth);
-            match self.try_horizon(dfg, fabric, h, &topo, &budget, &cfg.telemetry, &cfg.ledger) {
+            match self.try_horizon(
+                dfg,
+                fabric,
+                h,
+                &caps,
+                &topo,
+                &budget,
+                &cfg.telemetry,
+                &cfg.ledger,
+            ) {
                 Ok(Some(m)) => return Ok(m),
                 Ok(None) => {}
                 Err(e) => return Err(e),

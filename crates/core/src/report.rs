@@ -219,6 +219,10 @@ fn snapshot_from_json(v: &Value) -> Option<StatsSnapshot> {
         solver_propagations: g("solver_propagations"),
         solver_conflicts: g("solver_conflicts"),
         solver_restarts: g("solver_restarts"),
+        solver_assumption_solves: g("solver_assumption_solves"),
+        solver_learnt_kept: g("solver_learnt_kept"),
+        solver_learnt_gcd: g("solver_learnt_gcd"),
+        solver_warm_pivots_saved: g("solver_warm_pivots_saved"),
         cancellations: g("cancellations"),
         incumbents: g("incumbents"),
     })

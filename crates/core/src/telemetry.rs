@@ -63,6 +63,15 @@ pub enum Counter {
     SolverConflicts,
     /// Solver restarts (Luby restarts).
     SolverRestarts,
+    /// Incremental solves answered under assumptions (SAT II sweeps
+    /// reusing one solver instance across candidate IIs).
+    SolverAssumptionSolves,
+    /// Learnt clauses retained across clause-database reductions.
+    SolverLearntKept,
+    /// Learnt clauses garbage-collected by database reductions.
+    SolverLearntGcd,
+    /// Simplex pivots avoided by warm-basis reuse in LP-backed solvers.
+    SolverWarmPivotsSaved,
     /// Runs stopped by a budget cancellation (portfolio race losers,
     /// parallel-II jobs dominated by a better II).
     Cancellations,
@@ -75,7 +84,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 19] = [
         Counter::IiAttempts,
         Counter::PlacementsTried,
         Counter::Backtracks,
@@ -89,6 +98,10 @@ impl Counter {
         Counter::SolverPropagations,
         Counter::SolverConflicts,
         Counter::SolverRestarts,
+        Counter::SolverAssumptionSolves,
+        Counter::SolverLearntKept,
+        Counter::SolverLearntGcd,
+        Counter::SolverWarmPivotsSaved,
         Counter::Cancellations,
         Counter::Incumbents,
     ];
@@ -109,6 +122,10 @@ impl Counter {
             Counter::SolverPropagations => "solver_propagations",
             Counter::SolverConflicts => "solver_conflicts",
             Counter::SolverRestarts => "solver_restarts",
+            Counter::SolverAssumptionSolves => "solver_assumption_solves",
+            Counter::SolverLearntKept => "solver_learnt_kept",
+            Counter::SolverLearntGcd => "solver_learnt_gcd",
+            Counter::SolverWarmPivotsSaved => "solver_warm_pivots_saved",
             Counter::Cancellations => "cancellations",
             Counter::Incumbents => "incumbents",
         }
@@ -250,6 +267,10 @@ impl SearchStats {
             solver_propagations: self.get(Counter::SolverPropagations),
             solver_conflicts: self.get(Counter::SolverConflicts),
             solver_restarts: self.get(Counter::SolverRestarts),
+            solver_assumption_solves: self.get(Counter::SolverAssumptionSolves),
+            solver_learnt_kept: self.get(Counter::SolverLearntKept),
+            solver_learnt_gcd: self.get(Counter::SolverLearntGcd),
+            solver_warm_pivots_saved: self.get(Counter::SolverWarmPivotsSaved),
             cancellations: self.get(Counter::Cancellations),
             incumbents: self.get(Counter::Incumbents),
         }
@@ -282,6 +303,10 @@ pub struct StatsSnapshot {
     pub solver_propagations: u64,
     pub solver_conflicts: u64,
     pub solver_restarts: u64,
+    pub solver_assumption_solves: u64,
+    pub solver_learnt_kept: u64,
+    pub solver_learnt_gcd: u64,
+    pub solver_warm_pivots_saved: u64,
     pub cancellations: u64,
     #[serde(default)]
     pub incumbents: u64,
@@ -303,6 +328,10 @@ impl StatsSnapshot {
             Counter::SolverPropagations => self.solver_propagations,
             Counter::SolverConflicts => self.solver_conflicts,
             Counter::SolverRestarts => self.solver_restarts,
+            Counter::SolverAssumptionSolves => self.solver_assumption_solves,
+            Counter::SolverLearntKept => self.solver_learnt_kept,
+            Counter::SolverLearntGcd => self.solver_learnt_gcd,
+            Counter::SolverWarmPivotsSaved => self.solver_warm_pivots_saved,
             Counter::Cancellations => self.cancellations,
             Counter::Incumbents => self.incumbents,
         }

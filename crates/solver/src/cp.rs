@@ -206,7 +206,7 @@ impl CpModel {
             decisions: self.total_nodes,
             propagations: self.revisions,
             conflicts: self.wipeouts,
-            restarts: 0,
+            ..Default::default()
         }
     }
 

@@ -9,7 +9,7 @@
 //! incumbent. Branching picks the most fractional variable and explores
 //! the rounded value first.
 
-use crate::lp::{Cmp, Lp, LpResult};
+use crate::lp::{Basis, Cmp, Lp, LpResult};
 use std::cell::Cell;
 use std::time::{Duration, Instant};
 
@@ -28,6 +28,13 @@ struct IlpStats {
     lp_solves: Cell<u64>,
     /// Nodes cut (infeasible relaxation or bound-pruned) across solves.
     cuts: Cell<u64>,
+    /// Estimated simplex pivots avoided by warm-basis reuse, measured
+    /// against the cold root relaxation's pivot count.
+    warm_pivots_saved: Cell<u64>,
+    /// Pivot count of the most recent *cold* root relaxation of this
+    /// model — the reference for estimating warm-root savings across a
+    /// CEGAR chain of re-solves.
+    root_ref_pivots: Cell<Option<u64>>,
 }
 
 /// One linear constraint: sparse `(var, coeff)` terms, comparator, rhs.
@@ -96,6 +103,11 @@ pub enum IlpResult {
 pub struct IlpConfig {
     pub time_limit: Duration,
     pub node_limit: u64,
+    /// Warm-start the root relaxation from the basis handed to
+    /// [`IlpModel::solve_warm`]. The LP layer falls back to a cold
+    /// solve whenever the basis is unusable, so this only trades time,
+    /// never correctness.
+    pub warm_lp: bool,
 }
 
 impl Default for IlpConfig {
@@ -103,11 +115,30 @@ impl Default for IlpConfig {
         IlpConfig {
             time_limit: Duration::from_secs(30),
             node_limit: 200_000,
+            warm_lp: true,
         }
     }
 }
 
 const INT_EPS: f64 = 1e-6;
+
+/// Reusable starting state for a re-solve of the same (or a row-
+/// extended) model — the "incremental exact solving" handoff between
+/// related ILP queries.
+#[derive(Debug, Clone, Default)]
+pub struct IlpWarmStart {
+    /// Root-relaxation basis from a previous solve of this model chain;
+    /// crashed by the LP layer, which falls back to a cold solve
+    /// whenever it no longer fits.
+    pub basis: Option<Basis>,
+    /// A known-feasible 0/1 assignment to open the search with. It is
+    /// re-checked against the *current* rows and its objective is
+    /// recomputed before use, so an incumbent invalidated by a new
+    /// blocking row is discarded, never trusted. A valid incumbent
+    /// turns the re-solve into a pure optimality proof: every node
+    /// whose relaxation bound cannot beat it is pruned immediately.
+    pub incumbent: Option<Vec<bool>>,
+}
 
 impl IlpModel {
     pub fn new(maximize: bool) -> Self {
@@ -142,7 +173,8 @@ impl IlpModel {
             decisions: self.stats.nodes.get(),
             propagations: self.stats.lp_solves.get(),
             conflicts: self.stats.cuts.get(),
-            restarts: 0,
+            warm_pivots_saved: self.stats.warm_pivots_saved.get(),
+            ..Default::default()
         }
     }
 
@@ -207,9 +239,53 @@ impl IlpModel {
 
     /// Solve with an explicit budget.
     pub fn solve_with(&self, cfg: IlpConfig) -> IlpResult {
+        self.solve_warm(cfg, None).0
+    }
+
+    /// `true` when `values` satisfies every row of the model.
+    fn satisfies(&self, values: &[bool]) -> bool {
+        values.len() == self.num_vars
+            && self.constraints.iter().all(|(coeffs, cmp, rhs)| {
+                let lhs: f64 = coeffs
+                    .iter()
+                    .map(|&(v, c)| if values[v] { c } else { 0.0 })
+                    .sum();
+                match cmp {
+                    Cmp::Le => lhs <= rhs + INT_EPS,
+                    Cmp::Ge => lhs >= rhs - INT_EPS,
+                    Cmp::Eq => (lhs - rhs).abs() <= INT_EPS,
+                }
+            })
+    }
+
+    fn objective_of(&self, values: &[bool]) -> f64 {
+        self.objective
+            .iter()
+            .zip(values)
+            .map(|(c, &b)| if b { *c } else { 0.0 })
+            .sum()
+    }
+
+    /// Solve with an explicit budget, seeded from `warm` (typically the
+    /// state returned by a previous solve of this model, at most a few
+    /// appended rows ago — the CEGAR / re-map pattern). The basis
+    /// warm-starts the *root* relaxation only: the crash restores
+    /// feasibility of the violated rows and re-optimises from the old
+    /// vertex. Child nodes always solve cold — measured on mapper-shaped
+    /// assignment LPs, replaying a parent basis against a changed fixing
+    /// row costs more dense pivots than the cold two-phase path spends.
+    /// A warm incumbent (validated, see [`IlpWarmStart`]) starts bound
+    /// pruning at the previous optimum. Also returns the basis of the
+    /// node that produced the best incumbent, to seed the next solve in
+    /// the chain. Stale warm state costs a validity check, never
+    /// correctness.
+    pub fn solve_warm(
+        &self,
+        cfg: IlpConfig,
+        warm: Option<&IlpWarmStart>,
+    ) -> (IlpResult, Option<Basis>) {
         let start = Instant::now();
         let mut nodes: u64 = 0;
-        let mut incumbent: Option<(Vec<bool>, f64)> = None;
         let better = |a: f64, b: f64| {
             if self.maximize {
                 a > b + INT_EPS
@@ -217,10 +293,25 @@ impl IlpModel {
                 a < b - INT_EPS
             }
         };
+        // A handed-in feasible assignment opens the search as the
+        // incumbent (objective recomputed, rows re-checked), so bound
+        // pruning bites from the first node.
+        let mut incumbent: Option<(Vec<bool>, f64)> = warm
+            .and_then(|w| w.incumbent.as_deref())
+            .filter(|v| self.satisfies(v))
+            .map(|v| (v.to_vec(), self.objective_of(v)));
 
         // DFS stack of partial fixings.
+        let root_basis = if cfg.warm_lp {
+            warm.and_then(|w| w.basis.clone())
+        } else {
+            None
+        };
         let mut stack: Vec<Vec<Option<bool>>> = vec![vec![None; self.num_vars]];
+        let mut at_root = true;
         let mut exhausted = true;
+        // Basis of the node that produced the best incumbent so far.
+        let mut best_basis: Option<Basis> = None;
 
         while let Some(fixed) = stack.pop() {
             if nodes >= cfg.node_limit
@@ -234,7 +325,24 @@ impl IlpModel {
             self.stats.nodes.set(self.stats.nodes.get() + 1);
             let lp = self.relaxation(&fixed);
             self.stats.lp_solves.set(self.stats.lp_solves.get() + 1);
-            let (x, bound) = match lp.solve() {
+            let warm_ref = if at_root { root_basis.as_ref() } else { None };
+            let (result, basis_out) = lp.solve_with_basis(warm_ref);
+            if let Some(b) = &basis_out {
+                if at_root {
+                    match (self.stats.root_ref_pivots.get(), warm_ref.is_some()) {
+                        // Only a cold root can serve as the reference.
+                        (_, false) => self.stats.root_ref_pivots.set(Some(b.pivots)),
+                        (Some(rp), true) => {
+                            self.stats.warm_pivots_saved.set(
+                                self.stats.warm_pivots_saved.get() + rp.saturating_sub(b.pivots),
+                            );
+                        }
+                        (None, true) => {}
+                    }
+                }
+            }
+            at_root = false;
+            let (x, bound) = match result {
                 LpResult::Optimal { x, objective } => (x, objective),
                 LpResult::Infeasible => {
                     self.stats.cuts.set(self.stats.cuts.get() + 1);
@@ -280,6 +388,7 @@ impl IlpModel {
                         .unwrap_or(true);
                     if take {
                         incumbent = Some((values, obj));
+                        best_basis = basis_out;
                         self.on_incumbent.fire(obj);
                     }
                 }
@@ -297,7 +406,7 @@ impl IlpModel {
             }
         }
 
-        match (incumbent, exhausted) {
+        let result = match (incumbent, exhausted) {
             (Some((values, objective)), true) => IlpResult::Optimal { values, objective },
             (None, true) => IlpResult::Infeasible,
             (inc, false) => {
@@ -307,7 +416,8 @@ impl IlpModel {
                 };
                 IlpResult::Budget { values, objective }
             }
-        }
+        };
+        (result, best_basis)
     }
 }
 
@@ -395,8 +505,115 @@ mod tests {
         let r = m.solve_with(IlpConfig {
             time_limit: Duration::from_secs(10),
             node_limit: 0,
+            ..Default::default()
         });
         assert!(matches!(r, IlpResult::Budget { .. }));
+    }
+
+    #[test]
+    fn warm_and_cold_branch_and_bound_agree() {
+        // The warm-started search must reach the same optimum as the
+        // cold one on a model that actually branches.
+        let build = || {
+            let mut m = IlpModel::new(true);
+            let vars: Vec<IlpVar> = (0..8).map(|i| m.add_var(1.0 + (i as f64) * 0.3)).collect();
+            for w in vars.windows(2) {
+                m.at_most_one(w);
+            }
+            let coeffs: Vec<(IlpVar, f64)> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 3) as f64))
+                .collect();
+            m.add_constraint(&coeffs, Cmp::Le, 7.0);
+            m
+        };
+        let warm = build();
+        let cold = build();
+        let rw = warm.solve_with(IlpConfig::default());
+        let rc = cold.solve_with(IlpConfig {
+            warm_lp: false,
+            ..Default::default()
+        });
+        match (rw, rc) {
+            (IlpResult::Optimal { objective: a, .. }, IlpResult::Optimal { objective: b, .. }) => {
+                assert!((a - b).abs() < 1e-6, "{a} != {b}")
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cold.stats().warm_pivots_saved, 0);
+    }
+
+    #[test]
+    fn solve_warm_chain_matches_cold_after_added_row() {
+        // Solve, append a blocking row (the CEGAR pattern), re-solve
+        // warm from the returned basis: same optimum as a cold solve.
+        let mut m = IlpModel::new(true);
+        let a = m.add_var(10.0);
+        let b = m.add_var(6.0);
+        let c = m.add_var(4.0);
+        m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Cmp::Le, 10.0);
+        let (r1, basis) = m.solve_warm(IlpConfig::default(), None);
+        match r1 {
+            IlpResult::Optimal { objective, .. } => assert_eq!(objective, 16.0),
+            other => panic!("{other:?}"),
+        }
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.0); // block {a, b}
+        let ws = IlpWarmStart {
+            basis,
+            incumbent: None,
+        };
+        let (warm, _) = m.solve_warm(IlpConfig::default(), Some(&ws));
+        let cold = m.solve_with(IlpConfig {
+            warm_lp: false,
+            ..Default::default()
+        });
+        match (warm, cold) {
+            (IlpResult::Optimal { objective: w, .. }, IlpResult::Optimal { objective: c2, .. }) => {
+                assert_eq!(w, c2);
+                assert_eq!(w, 14.0); // a + c
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_incumbent_is_validated_and_pruned_against() {
+        // Re-solving with the previous optimum as a warm incumbent must
+        // reproduce it; once a blocking row cuts that incumbent off, it
+        // must be discarded and the next optimum found from scratch.
+        let mut m = IlpModel::new(true);
+        let a = m.add_var(10.0);
+        let b = m.add_var(6.0);
+        let c = m.add_var(4.0);
+        m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Cmp::Le, 10.0);
+        let (r1, basis) = m.solve_warm(IlpConfig::default(), None);
+        let first = match r1 {
+            IlpResult::Optimal { values, objective } => {
+                assert_eq!(objective, 16.0);
+                values
+            }
+            other => panic!("{other:?}"),
+        };
+        // Same model, warm incumbent: still 16, values unchanged.
+        let ws = IlpWarmStart {
+            basis,
+            incumbent: Some(first.clone()),
+        };
+        match m.solve_warm(IlpConfig::default(), Some(&ws)).0 {
+            IlpResult::Optimal { values, objective } => {
+                assert_eq!(objective, 16.0);
+                assert_eq!(values, first);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Block {a, b}: the warm incumbent now violates a row and must
+        // not leak through as the answer.
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.0);
+        match m.solve_warm(IlpConfig::default(), Some(&ws)).0 {
+            IlpResult::Optimal { objective, .. } => assert_eq!(objective, 14.0), // a + c
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

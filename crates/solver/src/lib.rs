@@ -35,9 +35,9 @@ pub mod smt;
 pub mod stats;
 
 pub use cp::{CpModel, CpSolution, CpVar};
-pub use ilp::{IlpModel, IlpResult, IlpVar, IncumbentHook};
+pub use ilp::{IlpConfig, IlpModel, IlpResult, IlpVar, IlpWarmStart, IncumbentHook};
 pub use interrupt::Interrupt;
-pub use lp::{Cmp, Lp, LpResult};
+pub use lp::{Basis, BasisVar, Cmp, Lp, LpResult};
 pub use sat::{Lit, SatResult, SatSolver, SatVar};
 pub use smt::{DiffAtom, SmtResult, SmtSolver};
 pub use stats::SolverStats;

@@ -5,6 +5,26 @@
 //! The design follows MiniSat's architecture, sized for the CNF
 //! encodings of CGRA mapping (Miyasaka et al., VLSI-SoC 2021): a few
 //! thousand variables, tens of thousands of clauses.
+//!
+//! ## Incremental solving
+//!
+//! The solver is *incremental* in the MiniSat sense, which is how the
+//! SAT-MapIt lineage amortises an II sweep into one solver instance:
+//!
+//! * [`SatSolver::solve_with_assumptions`] solves under a set of
+//!   literals that hold for this call only; clauses (including every
+//!   learnt clause) persist across calls, so conflicts discovered at
+//!   II=k prune the search at II=k+1;
+//! * learnt clauses carry activities and are garbage-collected by
+//!   [`reduce_db`](SatSolver) once the database outgrows its budget,
+//!   keeping long-lived incremental solvers bounded;
+//! * a push/pop-style removable layer: guard a clause group with a
+//!   selector from [`SatSolver::new_selector`] via
+//!   [`SatSolver::add_clause_under`], activate it by assuming the
+//!   selector, and permanently drop it with
+//!   [`SatSolver::retire_selector`]. Selectors only ever appear
+//!   negatively in guarded clauses, so an unassumed group never
+//!   constrains the search.
 
 /// A propositional variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -66,9 +86,10 @@ enum Value {
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
-    /// Kept for future clause-database reduction policies.
-    #[allow(dead_code)]
     learnt: bool,
+    /// Bumped when the clause participates in conflict analysis;
+    /// clause-database reduction evicts the coldest learnt clauses.
+    activity: f64,
 }
 
 /// The CDCL solver.
@@ -88,6 +109,13 @@ pub struct SatSolver {
     prop_head: usize,
     activity: Vec<f64>,
     var_inc: f64,
+    /// Clause-activity increment (decayed alongside `var_inc`).
+    cla_inc: f64,
+    /// Learnt clauses currently in the database.
+    num_learnts: usize,
+    /// Learnt-clause budget before `reduce_db` fires (0 = not yet
+    /// sized; initialised on the first solve from the original count).
+    max_learnts: usize,
     /// Set at level 0 when the formula is trivially unsatisfiable.
     unsat: bool,
     /// Statistics: total conflicts seen.
@@ -98,6 +126,12 @@ pub struct SatSolver {
     pub propagations: u64,
     /// Statistics: total Luby restarts performed.
     pub restarts: u64,
+    /// Statistics: solves answered under a non-empty assumption set.
+    pub assumption_solves: u64,
+    /// Statistics: learnt clauses surviving database reductions.
+    pub learnt_kept: u64,
+    /// Statistics: learnt clauses evicted by database reductions.
+    pub learnt_gcd: u64,
     /// Conflict budget for `solve` (u64::MAX = off).
     pub conflict_budget: u64,
     /// Cooperative stop signal, polled once per CDCL loop iteration.
@@ -126,11 +160,17 @@ impl SatSolver {
             prop_head: 0,
             activity: Vec::new(),
             var_inc: 1.0,
+            cla_inc: 1.0,
+            num_learnts: 0,
+            max_learnts: 0,
             unsat: false,
             conflicts: 0,
             decisions: 0,
             propagations: 0,
             restarts: 0,
+            assumption_solves: 0,
+            learnt_kept: 0,
+            learnt_gcd: 0,
             conflict_budget: u64::MAX,
             interrupt: crate::interrupt::Interrupt::none(),
         }
@@ -143,6 +183,10 @@ impl SatSolver {
             propagations: self.propagations,
             conflicts: self.conflicts,
             restarts: self.restarts,
+            assumption_solves: self.assumption_solves,
+            learnt_kept: self.learnt_kept,
+            learnt_gcd: self.learnt_gcd,
+            warm_pivots_saved: 0,
         }
     }
 
@@ -221,9 +265,37 @@ impl SatSolver {
                 self.clauses.push(Clause {
                     lits: ls,
                     learnt: false,
+                    activity: 0.0,
                 });
             }
         }
+    }
+
+    /// Create a selector literal for a removable clause group.
+    ///
+    /// Selectors are ordinary variables whose saved phase starts
+    /// `false`, so an unassumed group costs nothing in search. Guarded
+    /// clauses only contain the selector negatively, which keeps the
+    /// group inert unless the selector is assumed true.
+    pub fn new_selector(&mut self) -> Lit {
+        Lit::pos(self.new_var())
+    }
+
+    /// Add `lits` guarded by `sel`: the clause only constrains solves
+    /// that assume `sel` (it is recorded as `¬sel ∨ lits`).
+    pub fn add_clause_under(&mut self, sel: Lit, lits: &[Lit]) {
+        let mut guarded = Vec::with_capacity(lits.len() + 1);
+        guarded.push(sel.negate());
+        guarded.extend_from_slice(lits);
+        self.add_clause(&guarded);
+    }
+
+    /// Permanently deactivate a selector's clause group (MiniSat-style
+    /// "pop"): asserting `¬sel` at the top level satisfies every clause
+    /// added under it, and level-0 simplification in `reduce_db` will
+    /// physically drop them on the next pass.
+    pub fn retire_selector(&mut self, sel: Lit) {
+        self.add_clause(&[sel.negate()]);
     }
 
     fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
@@ -324,6 +396,20 @@ impl SatSolver {
         None
     }
 
+    fn cla_bump(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
     fn bump(&mut self, v: SatVar) {
         self.activity[v.0 as usize] += self.var_inc;
         if self.activity[v.0 as usize] > 1e100 {
@@ -346,6 +432,7 @@ impl SatSolver {
         let mut idx = self.trail.len();
 
         loop {
+            self.cla_bump(clause);
             let lits: Vec<Lit> = self.clauses[clause as usize].lits.clone();
             let skip_first = p.is_some();
             for (k, &q) in lits.iter().enumerate() {
@@ -452,13 +539,116 @@ impl SatSolver {
         1u64 << seq
     }
 
-    /// Solve the formula.
+    /// Override the learnt-clause budget that triggers database
+    /// reduction (default: `max(2000, originals / 2)`, sized on the
+    /// first solve and grown ×4/3 per reduction).
+    pub fn set_learnt_budget(&mut self, n: usize) {
+        self.max_learnts = n.max(16);
+    }
+
+    /// Evict the coldest half of the long learnt clauses and simplify
+    /// the database against the (permanent) level-0 assignment.
+    ///
+    /// Only callable at decision level 0. Level-0 reasons are never
+    /// consulted by `analyze` (it skips level-0 literals), so they can
+    /// be cleared, which frees every clause index for compaction.
+    fn reduce_db(&mut self) {
+        debug_assert!(self.trail_lim.is_empty());
+        for r in &mut self.reason {
+            *r = None;
+        }
+        // Rank long learnt clauses by activity; the coldest half goes.
+        let mut ranked: Vec<(f64, usize)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && c.lits.len() > 2)
+            .map(|(i, c)| (c.activity, i))
+            .collect();
+        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut drop = vec![false; self.clauses.len()];
+        for &(_, i) in ranked.iter().take(ranked.len() / 2) {
+            drop[i] = true;
+        }
+
+        let old = std::mem::take(&mut self.clauses);
+        for w in &mut self.watches {
+            w.clear();
+        }
+        self.num_learnts = 0;
+        for (i, mut c) in old.into_iter().enumerate() {
+            if c.learnt && drop[i] {
+                self.learnt_gcd += 1;
+                continue;
+            }
+            // Simplify against the permanent assignment: a true literal
+            // retires the clause, false literals are dropped.
+            if c.lits.iter().any(|&l| self.value(l) == Value::True) {
+                if c.learnt {
+                    self.learnt_gcd += 1;
+                }
+                continue;
+            }
+            c.lits.retain(|&l| self.value(l) != Value::False);
+            match c.lits.len() {
+                0 => {
+                    self.unsat = true;
+                    return;
+                }
+                1 => {
+                    self.enqueue(c.lits[0], None);
+                    if c.learnt {
+                        self.learnt_gcd += 1;
+                    }
+                }
+                _ => {
+                    let idx = self.clauses.len() as u32;
+                    self.watches[c.lits[0].negate().index()].push(idx);
+                    self.watches[c.lits[1].negate().index()].push(idx);
+                    if c.learnt {
+                        self.num_learnts += 1;
+                        self.learnt_kept += 1;
+                    }
+                    self.clauses.push(c);
+                }
+            }
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+        }
+    }
+
+    /// Solve the formula with no assumptions.
     pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solve under `assumptions`: literals that hold for this call
+    /// only. All clauses — learnt ones included — persist for the next
+    /// call, which is what makes adjacent-II solves cheap.
+    ///
+    /// `Unsat` under a non-empty assumption set means the formula has
+    /// no model extending the assumptions; the solver itself stays
+    /// usable (only a conflict at level 0 is permanent).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !assumptions.is_empty() {
+            self.assumption_solves += 1;
+        }
         if self.unsat {
             return SatResult::Unsat;
         }
+        self.cancel_until(0);
         if self.propagate().is_some() {
+            self.unsat = true;
             return SatResult::Unsat;
+        }
+        if self.max_learnts == 0 {
+            self.max_learnts = (self.clauses.len() / 2).max(2000);
+        } else if self.num_learnts > self.max_learnts {
+            self.reduce_db();
+            if self.unsat {
+                return SatResult::Unsat;
+            }
         }
         let mut restart_count = 0u64;
         let mut conflicts_since_restart = 0u64;
@@ -478,6 +668,7 @@ impl SatSolver {
                         return SatResult::Unknown;
                     }
                     if self.trail_lim.is_empty() {
+                        self.unsat = true;
                         return SatResult::Unsat;
                     }
                     let (learnt, bt) = self.analyze(confl);
@@ -489,13 +680,16 @@ impl SatSolver {
                         let idx = self.clauses.len() as u32;
                         self.watches[learnt[0].negate().index()].push(idx);
                         self.watches[learnt[1].negate().index()].push(idx);
+                        self.num_learnts += 1;
                         self.clauses.push(Clause {
                             lits: learnt,
                             learnt: true,
+                            activity: self.cla_inc,
                         });
                         self.enqueue(asserting, Some(idx));
                     }
                     self.var_inc /= 0.95; // VSIDS decay
+                    self.cla_inc /= 0.999;
                 }
                 None => {
                     if conflicts_since_restart >= restart_limit && !self.trail_lim.is_empty() {
@@ -504,6 +698,40 @@ impl SatSolver {
                         conflicts_since_restart = 0;
                         restart_limit = 100 * Self::luby(restart_count);
                         self.cancel_until(0);
+                        if self.num_learnts > self.max_learnts {
+                            self.reduce_db();
+                            self.max_learnts += self.max_learnts / 3;
+                            if self.unsat {
+                                return SatResult::Unsat;
+                            }
+                        }
+                        continue;
+                    }
+                    // Establish any assumption not yet decided: each one
+                    // opens its own decision level (a dummy level if it
+                    // is already implied), so conflict analysis can
+                    // still backjump between assumptions and restarts
+                    // simply re-establish them.
+                    let dl = self.trail_lim.len();
+                    if dl < assumptions.len() {
+                        let a = assumptions[dl];
+                        match self.value(a) {
+                            Value::True => {
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            Value::False => {
+                                // The formula (plus earlier assumptions)
+                                // implies ¬a: unsat under assumptions,
+                                // but the solver stays reusable.
+                                self.cancel_until(0);
+                                return SatResult::Unsat;
+                            }
+                            Value::Undef => {
+                                self.decisions += 1;
+                                self.trail_lim.push(self.trail.len());
+                                self.enqueue(a, None);
+                            }
+                        }
                         continue;
                     }
                     match self.decide() {
@@ -701,6 +929,124 @@ mod tests {
         s.add_clause(&[Lit::pos(x), Lit::pos(x), Lit::neg(y)]);
         s.add_clause(&[Lit::pos(y), Lit::neg(y)]); // tautology: ignored
         assert!(matches!(s.solve(), SatResult::Sat(_)));
+    }
+
+    /// PHP(pigeons, holes) clauses, each guarded by `sel` when given.
+    fn add_php(s: &mut SatSolver, pigeons: usize, holes: usize, sel: Option<Lit>) {
+        let p: Vec<Vec<SatVar>> = (0..pigeons).map(|_| v(s, holes)).collect();
+        let add = |s: &mut SatSolver, lits: &[Lit]| match sel {
+            Some(g) => s.add_clause_under(g, lits),
+            None => s.add_clause(lits),
+        };
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|&x| Lit::pos(x)).collect();
+            add(s, &c);
+        }
+        for hole in 0..holes {
+            for a in 0..pigeons {
+                for b in (a + 1)..pigeons {
+                    add(s, &[Lit::neg(p[a][hole]), Lit::neg(p[b][hole])]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_behave_like_temporary_units() {
+        let mut s = SatSolver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause(&[Lit::pos(x), Lit::pos(y)]);
+        match s.solve_with_assumptions(&[Lit::neg(x)]) {
+            SatResult::Sat(m) => {
+                assert!(!m[0]);
+                assert!(m[1]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(x), Lit::neg(y)]),
+            SatResult::Unsat
+        );
+        // Unsat under assumptions is not permanent.
+        assert!(matches!(s.solve(), SatResult::Sat(_)));
+        assert!(matches!(
+            s.solve_with_assumptions(&[Lit::pos(x)]),
+            SatResult::Sat(_)
+        ));
+        assert_eq!(s.stats().assumption_solves, 3);
+    }
+
+    #[test]
+    fn selector_groups_gate_and_retire() {
+        let mut s = SatSolver::new();
+        let x = s.new_var();
+        let a = s.new_selector();
+        let b = s.new_selector();
+        s.add_clause_under(a, &[Lit::pos(x)]);
+        s.add_clause_under(b, &[Lit::neg(x)]);
+        match s.solve_with_assumptions(&[a]) {
+            SatResult::Sat(m) => assert!(m[x.0 as usize]),
+            other => panic!("{other:?}"),
+        }
+        match s.solve_with_assumptions(&[b]) {
+            SatResult::Sat(m) => assert!(!m[x.0 as usize]),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.solve_with_assumptions(&[a, b]), SatResult::Unsat);
+        s.retire_selector(b);
+        assert!(matches!(s.solve_with_assumptions(&[a]), SatResult::Sat(_)));
+        assert_eq!(s.solve_with_assumptions(&[b]), SatResult::Unsat);
+        // The solver itself stays satisfiable.
+        assert!(matches!(s.solve(), SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn learnt_clauses_persist_across_assumption_solves() {
+        // PHP(6,5) guarded by a selector: Unsat under the assumption,
+        // and the clauses learnt on the first call make the second call
+        // near-free (the refutation persists as unit ¬sel at level 0).
+        let mut s = SatSolver::new();
+        let sel = s.new_selector();
+        add_php(&mut s, 6, 5, Some(sel));
+        assert_eq!(s.solve_with_assumptions(&[sel]), SatResult::Unsat);
+        let first = s.conflicts;
+        assert!(first > 0);
+        assert_eq!(s.solve_with_assumptions(&[sel]), SatResult::Unsat);
+        let second = s.conflicts - first;
+        assert!(
+            second < first,
+            "repeat solve should reuse learnt clauses ({second} vs {first})"
+        );
+        assert!(matches!(s.solve(), SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn clause_db_reduction_is_sound_and_bounded() {
+        let mut s = SatSolver::new();
+        let sel = s.new_selector();
+        add_php(&mut s, 7, 6, Some(sel));
+        s.set_learnt_budget(24);
+        assert_eq!(s.solve_with_assumptions(&[sel]), SatResult::Unsat);
+        let st = s.stats();
+        assert!(st.learnt_gcd > 0, "tiny budget must trigger GC");
+        // Result is still correct after (possibly many) reductions, and
+        // the solver remains usable.
+        assert!(matches!(s.solve(), SatResult::Sat(_)));
+        assert_eq!(s.solve_with_assumptions(&[sel]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_unsat_is_permanent_only_at_level_zero() {
+        let mut s = SatSolver::new();
+        let x = s.new_var();
+        s.add_clause(&[Lit::pos(x)]);
+        assert!(matches!(s.solve(), SatResult::Sat(_)));
+        // Adding the contradicting unit after a solve makes the formula
+        // permanently unsat, assumptions or not.
+        s.add_clause(&[Lit::neg(x)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[Lit::pos(x)]), SatResult::Unsat);
     }
 
     #[test]

@@ -17,6 +17,18 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Restarts (Luby restarts; zero for engines without restarts).
     pub restarts: u64,
+    /// Incremental solves answered under assumptions (CDCL
+    /// `solve_with_assumptions` calls; zero for other engines).
+    pub assumption_solves: u64,
+    /// Learnt clauses retained across clause-database reductions
+    /// (survivors summed over every GC pass).
+    pub learnt_kept: u64,
+    /// Learnt clauses garbage-collected by database reductions.
+    pub learnt_gcd: u64,
+    /// Simplex pivots avoided by warm-basis reuse (estimated against
+    /// the cold reference solve of the same model; zero for engines
+    /// without an LP core).
+    pub warm_pivots_saved: u64,
 }
 
 impl SolverStats {
@@ -28,6 +40,14 @@ impl SolverStats {
             propagations: self.propagations.saturating_sub(earlier.propagations),
             conflicts: self.conflicts.saturating_sub(earlier.conflicts),
             restarts: self.restarts.saturating_sub(earlier.restarts),
+            assumption_solves: self
+                .assumption_solves
+                .saturating_sub(earlier.assumption_solves),
+            learnt_kept: self.learnt_kept.saturating_sub(earlier.learnt_kept),
+            learnt_gcd: self.learnt_gcd.saturating_sub(earlier.learnt_gcd),
+            warm_pivots_saved: self
+                .warm_pivots_saved
+                .saturating_sub(earlier.warm_pivots_saved),
         }
     }
 
@@ -38,6 +58,10 @@ impl SolverStats {
             propagations: self.propagations + other.propagations,
             conflicts: self.conflicts + other.conflicts,
             restarts: self.restarts + other.restarts,
+            assumption_solves: self.assumption_solves + other.assumption_solves,
+            learnt_kept: self.learnt_kept + other.learnt_kept,
+            learnt_gcd: self.learnt_gcd + other.learnt_gcd,
+            warm_pivots_saved: self.warm_pivots_saved + other.warm_pivots_saved,
         }
     }
 }
@@ -53,12 +77,14 @@ mod tests {
             propagations: 100,
             conflicts: 5,
             restarts: 1,
+            ..Default::default()
         };
         let b = SolverStats {
             decisions: 4,
             propagations: 40,
             conflicts: 2,
             restarts: 0,
+            ..Default::default()
         };
         let d = a.since(&b);
         assert_eq!(d.decisions, 6);
@@ -67,5 +93,31 @@ mod tests {
         let m = a.merged(&b);
         assert_eq!(m.decisions, 14);
         assert_eq!(m.restarts, 1);
+    }
+
+    #[test]
+    fn incremental_fields_flow_through() {
+        let a = SolverStats {
+            assumption_solves: 3,
+            learnt_kept: 20,
+            learnt_gcd: 12,
+            warm_pivots_saved: 7,
+            ..Default::default()
+        };
+        let b = SolverStats {
+            assumption_solves: 1,
+            learnt_kept: 5,
+            learnt_gcd: 4,
+            warm_pivots_saved: 2,
+            ..Default::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.assumption_solves, 2);
+        assert_eq!(d.learnt_kept, 15);
+        assert_eq!(d.learnt_gcd, 8);
+        assert_eq!(d.warm_pivots_saved, 5);
+        let m = a.merged(&b);
+        assert_eq!(m.assumption_solves, 4);
+        assert_eq!(m.warm_pivots_saved, 9);
     }
 }

@@ -2,7 +2,9 @@
 //! brute-force oracle on randomly generated small instances.
 
 use cgra_solver::cnf::{at_most_one, AmoEncoding};
-use cgra_solver::{Cmp, CpModel, CpSolution, IlpModel, IlpResult, Lit, SatResult, SatSolver};
+use cgra_solver::{
+    Cmp, CpModel, CpSolution, IlpModel, IlpResult, Lit, Lp, LpResult, SatResult, SatSolver,
+};
 use proptest::prelude::*;
 
 /// A random 3-ish-CNF over `nvars` variables as (var, polarity) lists.
@@ -102,6 +104,118 @@ proptest! {
             }
             CpSolution::Unsat => prop_assert!(!feasible),
             CpSolution::Unknown => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn assumption_solves_agree_with_fresh_solves(
+        cnf in arb_cnf(7, 20),
+        assumps in prop::collection::vec((0usize..7, any::<bool>()), 0..=3)
+    ) {
+        // One incremental solver queried under assumptions must agree,
+        // query by query, with a fresh solver given the assumptions as
+        // unit clauses — including after earlier queries have seeded
+        // the incremental solver's learnt-clause database.
+        let mut inc = SatSolver::new();
+        let inc_vars: Vec<_> = (0..7).map(|_| inc.new_var()).collect();
+        for clause in &cnf {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, pos)| if pos { Lit::pos(inc_vars[v]) } else { Lit::neg(inc_vars[v]) })
+                .collect();
+            inc.add_clause(&lits);
+        }
+        // Warm the learnt DB with an unassumed solve first.
+        let unconstrained = inc.solve();
+
+        let lits: Vec<Lit> = assumps
+            .iter()
+            .map(|&(v, pos)| if pos { Lit::pos(inc_vars[v]) } else { Lit::neg(inc_vars[v]) })
+            .collect();
+        let incremental = inc.solve_with_assumptions(&lits);
+
+        let mut fresh = SatSolver::new();
+        let f_vars: Vec<_> = (0..7).map(|_| fresh.new_var()).collect();
+        for clause in &cnf {
+            let cl: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, pos)| if pos { Lit::pos(f_vars[v]) } else { Lit::neg(f_vars[v]) })
+                .collect();
+            fresh.add_clause(&cl);
+        }
+        for &(v, pos) in &assumps {
+            fresh.add_clause(&[if pos { Lit::pos(f_vars[v]) } else { Lit::neg(f_vars[v]) }]);
+        }
+        let from_scratch = fresh.solve();
+
+        match (&incremental, &from_scratch) {
+            (SatResult::Sat(model), SatResult::Sat(_)) => {
+                for clause in &cnf {
+                    prop_assert!(clause.iter().any(|&(v, pos)| model[v] == pos));
+                }
+                for &(v, pos) in &assumps {
+                    prop_assert_eq!(model[v], pos, "assumption not honoured");
+                }
+            }
+            (SatResult::Unsat, SatResult::Unsat) => {}
+            other => prop_assert!(false, "incremental vs fresh: {other:?}"),
+        }
+        // The incremental solver must still answer the unconstrained
+        // query identically after the assumption solve.
+        let again = inc.solve();
+        prop_assert_eq!(
+            matches!(again, SatResult::Sat(_)),
+            matches!(unconstrained, SatResult::Sat(_))
+        );
+    }
+
+    #[test]
+    fn warm_basis_lp_matches_cold_objective(
+        profits in prop::collection::vec(1i64..12, 5),
+        caps in prop::collection::vec(1i64..8, 4),
+        rows in prop::collection::vec(prop::collection::vec(0i64..4, 5), 4)
+    ) {
+        // Random feasible packing LPs (x = 0 is always feasible):
+        // max p·x s.t. A x <= caps, x <= 1. The cold solve's basis is
+        // replayed as a warm start for the same LP and for a perturbed
+        // sibling; objectives must match each LP's own cold optimum.
+        let build = |tight: bool| {
+            let mut lp = Lp::new(5, true);
+            for (v, &p) in profits.iter().enumerate() {
+                lp.set_objective(v, p as f64);
+            }
+            for (r, row) in rows.iter().enumerate() {
+                let coeffs: Vec<(usize, f64)> =
+                    row.iter().enumerate().map(|(v, &c)| (v, c as f64)).collect();
+                let cap = if tight { caps[r] as f64 * 0.5 } else { caps[r] as f64 };
+                lp.add_constraint(&coeffs, Cmp::Le, cap);
+            }
+            for v in 0..5 {
+                lp.add_constraint(&[(v, 1.0)], Cmp::Le, 1.0);
+            }
+            lp
+        };
+        let base = build(false);
+        let (cold, basis) = base.solve_with_basis(None);
+        let basis = match (&cold, basis) {
+            (LpResult::Optimal { .. }, Some(b)) => b,
+            other => { prop_assert!(false, "packing LP must be optimal: {other:?}"); unreachable!() }
+        };
+        let warm = base.solve_from(&basis);
+        match (&cold, &warm) {
+            (LpResult::Optimal { objective: a, .. }, LpResult::Optimal { objective: b, .. }) =>
+                prop_assert!((a - b).abs() < 1e-6, "warm {b} vs cold {a}"),
+            other => prop_assert!(false, "{other:?}"),
+        }
+        // Perturbed sibling (tighter rhs): stale basis, same optimum as
+        // the sibling's cold solve.
+        let sibling = build(true);
+        let sib_cold = sibling.solve();
+        let sib_warm = sibling.solve_from(&basis);
+        match (&sib_cold, &sib_warm) {
+            (LpResult::Optimal { objective: a, .. }, LpResult::Optimal { objective: b, .. }) =>
+                prop_assert!((a - b).abs() < 1e-6, "sibling warm {b} vs cold {a}"),
+            other => prop_assert!(false, "{other:?}"),
         }
     }
 
