@@ -69,10 +69,72 @@ pub fn render_fabric(f: &Fabric) -> String {
     s
 }
 
+/// Shade ramp for [`render_heatmap`], idle → saturated.
+const SHADES: [char; 5] = ['.', '-', '+', '#', '@'];
+
+/// Render a per-cell integer field (issue-slot occupancy, register
+/// pressure) as an ASCII heatmap over the fabric grid, in the style of
+/// [`render_fabric`]. `values` is indexed by PE id; `max` is the
+/// full-scale value (e.g. the II for issue slots). Pure formatting —
+/// deterministic for a given input.
+pub fn render_heatmap(f: &Fabric, values: &[u32], max: u32, title: &str) -> String {
+    render_heatmap_grid(&f.name, f.rows, f.cols, values, max, title)
+}
+
+/// [`render_heatmap`] without a [`Fabric`]: render from bare grid
+/// dimensions (PE ids row-major). This is what report viewers use when
+/// only the serialized heatmap data survives, not the fabric object.
+pub fn render_heatmap_grid(
+    name: &str,
+    rows: u16,
+    cols: u16,
+    values: &[u32],
+    max: u32,
+    title: &str,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{title} — {name} ({rows}x{cols}, full scale {max})");
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = values
+                .get(r as usize * cols as usize + c as usize)
+                .copied()
+                .unwrap_or(0);
+            let shade = if max == 0 || v == 0 {
+                SHADES[0]
+            } else {
+                let idx = (v as u64 * (SHADES.len() as u64 - 1)).div_ceil(max as u64);
+                SHADES[(idx as usize).min(SHADES.len() - 1)]
+            };
+            let _ = write!(s, "[{v:>3}{shade}]");
+            if c + 1 < cols {
+                let _ = write!(s, " ");
+            }
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s, "legend: . idle  - light  + busy  # heavy  @ saturated");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fabric::Fabric;
+
+    #[test]
+    fn heatmap_shades_scale_with_value() {
+        let f = Fabric::homogeneous(2, 2, crate::fabric::Topology::Mesh);
+        let r = render_heatmap(&f, &[0, 1, 2, 4], 4, "fu occupancy");
+        assert!(r.contains("fu occupancy"));
+        assert!(r.contains("[  0.]"), "{r}");
+        assert!(r.contains("[  1-]"), "{r}");
+        assert!(r.contains("[  2+]"), "{r}");
+        assert!(r.contains("[  4@]"), "{r}");
+        // Deterministic.
+        assert_eq!(r, render_heatmap(&f, &[0, 1, 2, 4], 4, "fu occupancy"));
+    }
 
     #[test]
     fn render_contains_all_cells() {

@@ -73,5 +73,49 @@ fn bench_modulo_list_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_router_overhead, bench_modulo_list_overhead);
+/// The latency histograms ride the same contract: recording into a
+/// disabled sink must stay a null check, and recording into an enabled
+/// sink is one atomic bucket increment. The `off` row here pins the
+/// disabled-path cost to noise next to `baseline` (an empty loop over
+/// the same values).
+fn bench_histogram_overhead(c: &mut Criterion) {
+    let samples: Vec<u64> = (0..1024u64)
+        .map(|i| i.wrapping_mul(2654435761) % 50_000)
+        .collect();
+    let mut group = c.benchmark_group("telemetry_histogram");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(6));
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            for &v in &samples {
+                criterion::black_box(v);
+            }
+        })
+    });
+    let off = Telemetry::off();
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            for &v in &samples {
+                off.record_route_us(criterion::black_box(v));
+            }
+        })
+    });
+    let on = Telemetry::enabled();
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            for &v in &samples {
+                on.record_route_us(criterion::black_box(v));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_router_overhead,
+    bench_modulo_list_overhead,
+    bench_histogram_overhead
+);
 criterion_main!(benches);

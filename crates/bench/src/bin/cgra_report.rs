@@ -26,16 +26,20 @@ struct Options {
     baseline: Option<String>,
     /// Wall-clock regression tolerance in percent; `None` = no wall gate.
     max_slowdown: Option<f64>,
+    /// Render fabric utilization heatmaps for successful cells.
+    heatmap: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: cgra-report [--baseline BASE_DIR] [--max-slowdown PCT] DIR\n\
+    "usage: cgra-report [--baseline BASE_DIR] [--max-slowdown PCT] [--heatmap] DIR\n\
      \n\
-     Renders per-mapper convergence tables and the race timeline from a\n\
-     directory of RunReport JSON artifacts. With --baseline, diffs DIR\n\
-     against BASE_DIR and exits non-zero when any (kernel, arch, mapper)\n\
-     cell regresses: a lost mapping, a worse II, or (with --max-slowdown)\n\
-     a wall-time slowdown beyond PCT percent."
+     Renders per-mapper convergence tables, phase-latency percentiles,\n\
+     failure diagnoses, and the race timeline from a directory of\n\
+     RunReport JSON artifacts. With --heatmap, also renders ASCII fabric\n\
+     utilization heatmaps for every successful cell. With --baseline,\n\
+     diffs DIR against BASE_DIR and exits non-zero when any (kernel,\n\
+     arch, mapper) cell regresses: a lost mapping, a worse II, or (with\n\
+     --max-slowdown) a wall-time slowdown beyond PCT percent."
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -43,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
         dir: None,
         baseline: None,
         max_slowdown: None,
+        heatmap: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -58,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("{e}"))?,
                 )
             }
+            "--heatmap" => opts.heatmap = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             dir => opts.dir = Some(dir.to_string()),
@@ -176,6 +182,61 @@ fn render_races(reports: &[RunReport]) {
     }
 }
 
+/// Render per-phase latency percentiles for every report that carries
+/// them (reports written before histograms existed simply have none).
+fn render_latency(reports: &[RunReport]) {
+    let mut printed_header = false;
+    for r in reports {
+        if r.latency.is_empty() {
+            continue;
+        }
+        if !printed_header {
+            println!("\nphase latencies (per span, microseconds):");
+            println!(
+                "  {:<18} {:<16} {:<12} {:>7} {:>8} {:>8} {:>8}",
+                "kernel", "mapper", "phase", "spans", "p50", "p90", "p99"
+            );
+            printed_header = true;
+        }
+        for row in &r.latency {
+            println!(
+                "  {:<18} {:<16} {:<12} {:>7} {:>8} {:>8} {:>8}",
+                r.instance, r.mapper, row.phase, row.count, row.p50_us, row.p90_us, row.p99_us
+            );
+        }
+    }
+}
+
+/// Render the failure diagnosis of every cell that carries one.
+fn render_diagnoses(reports: &[RunReport]) {
+    let mut printed_header = false;
+    for r in reports {
+        let Some(d) = &r.diagnosis else { continue };
+        if !printed_header {
+            println!("\nfailure diagnoses:");
+            printed_header = true;
+        }
+        println!("  {} / {} / {}:", r.instance, r.arch, r.mapper);
+        for line in d.render().lines() {
+            println!("    {line}");
+        }
+    }
+}
+
+/// Render ASCII utilization heatmaps for every successful cell.
+fn render_heatmaps(reports: &[RunReport]) {
+    for r in reports {
+        let Some(u) = &r.utilization else { continue };
+        println!(
+            "\n{} / {} / {} (II={}):",
+            r.instance, r.arch, r.mapper, u.ii
+        );
+        for line in u.render_standalone(&r.arch).lines() {
+            println!("  {line}");
+        }
+    }
+}
+
 /// One regression found by the baseline gate.
 struct Regression {
     cell: (String, String, String),
@@ -261,8 +322,21 @@ fn main() -> ExitCode {
             .collect::<std::collections::BTreeSet<_>>()
             .len()
     );
+    let truncated = current.iter().filter(|r| r.spans_dropped > 0).count();
+    if truncated > 0 {
+        let dropped: u64 = current.iter().map(|r| r.spans_dropped).sum();
+        eprintln!(
+            "warning: {truncated} report(s) hit the span buffer cap ({dropped} spans dropped); \
+             latency percentiles still cover every span, but trace timelines are truncated"
+        );
+    }
     render_convergence(&current);
+    render_latency(&current);
+    render_diagnoses(&current);
     render_races(&current);
+    if opts.heatmap {
+        render_heatmaps(&current);
+    }
 
     if let Some(base_dir) = &opts.baseline {
         let baseline = match load(base_dir) {

@@ -117,10 +117,14 @@ fn main() {
                 config: ConfigDigest::of(&cfg),
                 metrics: e.metrics.clone(),
                 error: e.error.clone(),
+                diagnosis: e.diagnosis.clone(),
                 compile_ms: e.compile_ms,
                 snapshot: e.stats,
                 events: e.events.clone(),
                 events_dropped: e.events_dropped,
+                spans_dropped: e.spans_dropped,
+                latency: e.latency.clone(),
+                utilization: e.utilization.clone(),
             };
             let path = dir.join(format!("{}.json", report.file_stem()));
             if let Err(err) = report.save(&path) {

@@ -5,9 +5,13 @@
 //! cgra-map <file.mc> [--kernel NAME] [--fabric RxC] [--topology mesh|meshplus|torus|onehop]
 //!          [--mapper NAME] [--race] [--parallel-ii] [--adres] [--iters N]
 //!          [--max-ii N] [--seed N] [--time-limit SECS] [--effort N] [--horizon N]
-//!          [--trace FILE] [--chrome-trace FILE] [--profile]
+//!          [--trace FILE] [--chrome-trace FILE] [--profile] [--explain]
 //!          [--json] [--show-config] [--list-mappers]
 //! ```
+//!
+//! Mapping failures exit with a distinct code per failure kind so
+//! scripts can dispatch without parsing stderr: 3 infeasible,
+//! 4 timeout, 5 cancelled, 6 unsupported (1 for everything else).
 
 use cgra::mapper::ledger::Ledger;
 use cgra::mapper::report;
@@ -36,6 +40,7 @@ struct Options {
     trace: Option<String>,
     chrome_trace: Option<String>,
     profile: bool,
+    explain: bool,
     json: bool,
     show_config: bool,
     list_mappers: bool,
@@ -60,6 +65,7 @@ fn usage() -> &'static str {
        --trace FILE        write a JSONL search trace (phase spans + ledger events + counters)\n\
        --chrome-trace FILE write a Chrome trace_event file (load in Perfetto / about:tracing)\n\
        --profile           print a search-effort profile (counters + phase times)\n\
+       --explain           on failure, diagnose which resource class bound the search\n\
        --json              machine-readable report\n\
        --show-config       print the configuration stream (Fig. 2c view)\n\
        --list-mappers      list available mapping techniques"
@@ -85,6 +91,7 @@ fn parse_args() -> Result<Options, String> {
         trace: None,
         chrome_trace: None,
         profile: false,
+        explain: false,
         json: false,
         show_config: false,
         list_mappers: false,
@@ -132,6 +139,7 @@ fn parse_args() -> Result<Options, String> {
             "--trace" => opts.trace = Some(need("--trace")?),
             "--chrome-trace" => opts.chrome_trace = Some(need("--chrome-trace")?),
             "--profile" => opts.profile = true,
+            "--explain" => opts.explain = true,
             "--json" => opts.json = true,
             "--show-config" => opts.show_config = true,
             "--list-mappers" => opts.list_mappers = true,
@@ -147,13 +155,56 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+            eprintln!("{}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }
 
-fn run() -> Result<(), String> {
+/// A CLI failure: message plus process exit code. Typed mapping
+/// failures get distinct codes (see the module docs) so scripts can
+/// dispatch on `$?` instead of parsing stderr.
+struct CliError {
+    msg: String,
+    code: u8,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError { msg, code: 1 }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        msg.to_string().into()
+    }
+}
+
+fn exit_code_of(err: &MapError) -> u8 {
+    match err {
+        MapError::Infeasible(_) => 3,
+        MapError::Timeout => 4,
+        MapError::Cancelled => 5,
+        MapError::Unsupported(_) => 6,
+    }
+}
+
+/// Render a mapping failure, appending the diagnosis when the mapper
+/// produced one (requested via `--explain`).
+fn mapping_failure(err: MapError) -> CliError {
+    let mut msg = format!("mapping failed: {err}");
+    if let Some(d) = err.diagnosis() {
+        msg.push('\n');
+        msg.push_str(&d.render());
+    }
+    CliError {
+        msg,
+        code: exit_code_of(&err),
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let opts = parse_args()?;
     let registry = MapperRegistry::standard();
     if opts.list_mappers {
@@ -215,6 +266,7 @@ fn run() -> Result<(), String> {
             .unwrap_or(defaults.time_limit),
         effort: opts.effort.unwrap_or(defaults.effort),
         horizon_factor: opts.horizon.unwrap_or(defaults.horizon_factor),
+        explain: opts.explain,
         telemetry: tele.clone(),
         ledger: ledger.clone(),
         ..defaults
@@ -242,7 +294,7 @@ fn run() -> Result<(), String> {
         } else {
             mapper.map(&dfg, &fabric, &cfg)
         };
-        let mapping = result.map_err(|e| format!("mapping failed: {e}"))?;
+        let mapping = result.map_err(mapping_failure)?;
         (
             mapping,
             mapper.name().to_string(),
@@ -279,7 +331,8 @@ fn run() -> Result<(), String> {
         write_trace(path, &tele, &ledger)?;
     }
     if let Some(path) = &opts.chrome_trace {
-        let trace = report::chrome_trace(&tele.spans(), &ledger.events());
+        let latency = report::LatencySummary::rows_from(&tele);
+        let trace = report::chrome_trace(&tele.spans(), &ledger.events(), &latency);
         std::fs::write(path, serde_json::to_string_pretty(&trace).unwrap())
             .map_err(|e| format!("{path}: {e}"))?;
     }
@@ -312,6 +365,9 @@ fn run() -> Result<(), String> {
             "throughput": stats.throughput,
             "energy": run_energy,
             "search_stats": tele.snapshot(),
+            "spans_dropped": tele.spans_dropped(),
+            "latency": report::LatencySummary::rows_from(&tele),
+            "utilization": UtilizationMap::of(&mapping, &dfg, &fabric),
             "race": race_json,
         });
         println!("{}", serde_json::to_string_pretty(&report).unwrap());

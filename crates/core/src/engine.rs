@@ -22,8 +22,9 @@
 
 use crate::mapper::{MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, UtilizationMap};
 use crate::portfolio::PortfolioEntry;
+use crate::report::LatencySummary;
 use crate::telemetry::{Counter, Telemetry};
 use crate::validate::validate_with;
 use cgra_arch::Fabric;
@@ -279,10 +280,11 @@ pub fn race(
             };
             let compile_ms = job_start.elapsed().as_secs_f64() * 1e3;
             let mut won = false;
-            let (metrics, error) = match result {
+            let (metrics, utilization, error) = match result {
                 Ok(m) => match validate_with(&m, dfg, fabric, &topo) {
                     Ok(()) => {
                         let metrics = Metrics::of(&m, dfg, fabric);
+                        let utilization = UtilizationMap::of(&m, dfg, fabric);
                         let on_target = target_ii.is_none_or(|t| metrics.ii <= t);
                         if on_target {
                             let mut w = winner.lock().unwrap();
@@ -293,14 +295,15 @@ pub fn race(
                                 cfg.ledger.race_win(mapper.name(), metrics.ii);
                             }
                         }
-                        (Some(metrics), None)
+                        (Some(metrics), Some(utilization), None)
                     }
                     Err(e) => (
                         None,
-                        Some(MapError::Infeasible(format!("INVALID OUTPUT: {e}"))),
+                        None,
+                        Some(MapError::infeasible(format!("INVALID OUTPUT: {e}"))),
                     ),
                 },
-                Err(e) => (None, Some(e)),
+                Err(e) => (None, None, Some(e)),
             };
             if matches!(error, Some(MapError::Cancelled)) {
                 job_cfg.telemetry.bump(Counter::Cancellations);
@@ -312,6 +315,7 @@ pub fn race(
                 Some(e) => cfg.ledger.race_loss(mapper.name(), e.kind()),
                 None => {}
             }
+            let diagnosis = error.as_ref().and_then(|e| e.diagnosis().cloned());
             PortfolioEntry {
                 mapper: mapper.name().to_string(),
                 family_label: mapper.family().label().to_string(),
@@ -328,6 +332,10 @@ pub fn race(
                 // empty.
                 events: Vec::new(),
                 events_dropped: 0,
+                diagnosis,
+                spans_dropped: job_cfg.telemetry.spans_dropped(),
+                latency: LatencySummary::rows_from(&job_cfg.telemetry),
+                utilization,
             }
         })
         .collect();
@@ -363,7 +371,7 @@ pub fn parallel_ii(
         return mapper.map(dfg, fabric, cfg);
     }
     let mii = crate::mappers::ModuloList::mii(dfg, fabric);
-    let (lo, hi) = cfg.ii_range(mii, fabric)?;
+    let (lo, hi) = cfg.ii_range_for(dfg, mii, fabric)?;
     if lo == hi {
         return mapper.map(dfg, fabric, cfg);
     }
@@ -398,7 +406,7 @@ pub fn parallel_ii(
             match mapper.map(dfg, fabric, &job_cfg) {
                 Ok(m) => {
                     if validate_with(&m, dfg, fabric, &topo).is_err() {
-                        return Some(MapError::Infeasible(format!("INVALID OUTPUT at II {ii}")));
+                        return Some(MapError::infeasible(format!("INVALID OUTPUT at II {ii}")));
                     }
                     let mut b = best.lock().unwrap();
                     if b.as_ref().is_none_or(|(bi, _)| ii < *bi) {
@@ -440,7 +448,7 @@ pub fn parallel_ii(
         cfg.ledger.budget_exhausted(mapper.name());
         return Err(MapError::Timeout);
     }
-    Err(MapError::Infeasible(format!(
+    Err(MapError::infeasible(format!(
         "no II in {lo}..={hi} admits a schedule"
     )))
 }

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod ctrlflow;
+pub mod diagnosis;
 pub mod engine;
 pub mod incremental;
 pub mod ledger;
@@ -50,29 +51,37 @@ pub mod streaming;
 pub mod telemetry;
 pub mod validate;
 
+pub use diagnosis::{diagnose_mii_bound, Diagnosis, ResourceClass};
 pub use engine::{parallel_ii, race, Budget, CancelToken, RaceOutcome};
 pub use incremental::{kernel_fingerprint, IncrKey, IncrementalCtx};
 pub use ledger::{EventKind, Ledger, LedgerEvent, RunLedger};
-pub use mapper::{ConfigError, Family, MapConfig, MapConfigBuilder, MapError, Mapper};
+pub use mapper::{
+    ConfigError, Family, Infeasibility, MapConfig, MapConfigBuilder, MapError, Mapper,
+};
 pub use mapping::{Mapping, Placement, Route};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, UtilizationMap};
 pub use registry::{MapperRegistry, MapperSpec, UnknownMapper};
-pub use report::{ConfigDigest, RunReport};
-pub use telemetry::{Counter, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry};
+pub use report::{ConfigDigest, LatencySummary, RunReport};
+pub use telemetry::{
+    Counter, Histogram, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry, HISTOGRAM_BUCKETS,
+};
 pub use validate::{validate, validate_with, ValidationError};
 
 /// Everything a mapper user needs.
 pub mod prelude {
+    pub use crate::diagnosis::{diagnose_mii_bound, Diagnosis, ResourceClass};
     pub use crate::engine::{parallel_ii, race, Budget, CancelToken, RaceOutcome};
     pub use crate::incremental::{kernel_fingerprint, IncrKey, IncrementalCtx};
     pub use crate::ledger::{EventKind, Ledger, LedgerEvent, RunLedger};
-    pub use crate::mapper::{ConfigError, Family, MapConfig, MapConfigBuilder, MapError, Mapper};
+    pub use crate::mapper::{
+        ConfigError, Family, Infeasibility, MapConfig, MapConfigBuilder, MapError, Mapper,
+    };
     pub use crate::mappers::*;
     pub use crate::mapping::{Mapping, Placement, Route};
-    pub use crate::metrics::Metrics;
+    pub use crate::metrics::{Metrics, UtilizationMap};
     pub use crate::portfolio::{run_portfolio, PortfolioEntry};
     pub use crate::registry::{MapperRegistry, MapperSpec, UnknownMapper};
-    pub use crate::report::{ConfigDigest, RunReport};
+    pub use crate::report::{ConfigDigest, LatencySummary, RunReport};
     pub use crate::telemetry::{Counter, Phase, SearchStats, SpanRecord, StatsSnapshot, Telemetry};
     pub use crate::validate::{validate, validate_with};
 }

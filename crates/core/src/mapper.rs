@@ -1,5 +1,6 @@
 //! The `Mapper` trait, configuration, errors, and the Table I taxonomy.
 
+use crate::diagnosis::Diagnosis;
 use crate::engine::Budget;
 use crate::ledger::Ledger;
 use crate::mapping::Mapping;
@@ -90,6 +91,12 @@ pub struct MapConfig {
     /// the per-II jobs of one sweep and, in a mapping-as-a-service
     /// setting, across repeated `map()` calls with the same config.
     pub incr: crate::incremental::IncrementalCtx,
+    /// Failure forensics: when on, infeasible outcomes carry a
+    /// structured [`Diagnosis`] (unsat-core probes in the exact
+    /// mappers, the analytic MII decomposition everywhere). Off by
+    /// default — the probes re-solve, so they cost real time on the
+    /// failure path. See [`crate::diagnosis`].
+    pub explain: bool,
 }
 
 impl Default for MapConfig {
@@ -107,6 +114,7 @@ impl Default for MapConfig {
             topo: None,
             incremental: true,
             incr: crate::incremental::IncrementalCtx::new(),
+            explain: false,
         }
     }
 }
@@ -152,18 +160,41 @@ impl MapConfig {
     /// is empty under `max_ii`/`context_depth`/`min_ii`.
     pub fn ii_range(&self, mii: u32, fabric: &Fabric) -> Result<(u32, u32), MapError> {
         if mii == u32::MAX {
-            return Err(MapError::Infeasible(
-                "fabric lacks a required resource class".into(),
+            return Err(MapError::infeasible(
+                "fabric lacks a required resource class",
             ));
         }
         let hi = self.max_ii.min(fabric.context_depth);
         let lo = mii.max(self.min_ii);
         if lo > hi {
-            return Err(MapError::Infeasible(format!(
+            return Err(MapError::infeasible(format!(
                 "MII {lo} exceeds the II bound {hi}"
             )));
         }
         Ok((lo, hi))
+    }
+
+    /// [`MapConfig::ii_range`] plus failure forensics: when the range
+    /// is empty (or a required resource class is absent) and
+    /// [`MapConfig::explain`] is on, the error carries the analytic
+    /// MII-bound [`Diagnosis`] naming the binding resource class. The
+    /// shared entry guard of every temporal mapper's II loop.
+    pub fn ii_range_for(
+        &self,
+        dfg: &Dfg,
+        mii: u32,
+        fabric: &Fabric,
+    ) -> Result<(u32, u32), MapError> {
+        self.ii_range(mii, fabric).map_err(|e| match e {
+            MapError::Infeasible(mut inf) if self.explain => {
+                let hi = self.max_ii.min(fabric.context_depth);
+                inf.diagnosis = Some(Box::new(crate::diagnosis::diagnose_mii_bound(
+                    dfg, fabric, hi,
+                )));
+                MapError::Infeasible(inf)
+            }
+            other => other,
+        })
     }
 }
 
@@ -252,6 +283,12 @@ impl MapConfigBuilder {
         self
     }
 
+    /// Enable failure forensics (see [`MapConfig::explain`]).
+    pub fn explain(mut self, explain: bool) -> Self {
+        self.cfg.explain = explain;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<MapConfig, ConfigError> {
         let c = &self.cfg;
@@ -289,12 +326,44 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// The structured payload of [`MapError::Infeasible`]: the classic
+/// prose reason plus, when failure forensics ran, a machine-readable
+/// [`Diagnosis`] attributing the failure to a resource class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Infeasibility {
+    /// Human-readable reason (what the old `Infeasible(String)` held).
+    pub why: String,
+    /// Structured attribution, present when [`MapConfig::explain`] was
+    /// on and a diagnosis could be extracted. Boxed so the common
+    /// no-diagnosis error stays small on the `Result` hot paths.
+    pub diagnosis: Option<Box<Diagnosis>>,
+}
+
+impl fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.why)?;
+        if let Some(d) = &self.diagnosis {
+            write!(f, " [{}-bound]", d.class.label())?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: Into<String>> From<S> for Infeasibility {
+    fn from(why: S) -> Self {
+        Infeasibility {
+            why: why.into(),
+            diagnosis: None,
+        }
+    }
+}
+
 /// Why a mapper failed. Structured and serializable so `--json`
 /// consumers can dispatch on the variant instead of parsing prose.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MapError {
     /// Proven or suspected infeasible within the II/horizon bounds.
-    Infeasible(String),
+    Infeasible(Infeasibility),
     /// Budget exhausted before a valid mapping was found.
     Timeout,
     /// The run was cancelled through its budget's token (e.g. a rival
@@ -305,6 +374,31 @@ pub enum MapError {
 }
 
 impl MapError {
+    /// An [`MapError::Infeasible`] with no diagnosis attached — the
+    /// construction every mapper uses on its plain failure paths.
+    pub fn infeasible(why: impl Into<String>) -> Self {
+        MapError::Infeasible(Infeasibility {
+            why: why.into(),
+            diagnosis: None,
+        })
+    }
+
+    /// An [`MapError::Infeasible`] carrying failure forensics.
+    pub fn infeasible_with(why: impl Into<String>, diagnosis: Diagnosis) -> Self {
+        MapError::Infeasible(Infeasibility {
+            why: why.into(),
+            diagnosis: Some(Box::new(diagnosis)),
+        })
+    }
+
+    /// The diagnosis, if this is an explained infeasibility.
+    pub fn diagnosis(&self) -> Option<&Diagnosis> {
+        match self {
+            MapError::Infeasible(inf) => inf.diagnosis.as_deref(),
+            _ => None,
+        }
+    }
+
     /// Stable machine-readable discriminant for reports.
     pub fn kind(&self) -> &'static str {
         match self {

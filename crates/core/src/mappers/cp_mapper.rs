@@ -171,7 +171,7 @@ impl Mapper for CpMapper {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
+        let (min_ii, max_ii) = cfg.ii_range_for(dfg, mii, fabric)?;
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         // Incremental sweeps build the union space once and view each
@@ -202,7 +202,7 @@ impl Mapper for CpMapper {
                 Err(e) => return Err(e),
             }
         }
-        Err(MapError::Infeasible(format!(
+        Err(MapError::infeasible(format!(
             "CP infeasible for every II in {min_ii}..={max_ii} (candidate window)"
         )))
     }

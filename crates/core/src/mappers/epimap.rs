@@ -211,7 +211,7 @@ impl Mapper for EpiMap {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
+        let (min_ii, max_ii) = cfg.ii_range_for(dfg, mii, fabric)?;
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         for ii in min_ii..=max_ii {
@@ -225,7 +225,7 @@ impl Mapper for EpiMap {
                 return Err(budget.error());
             }
         }
-        Err(MapError::Infeasible(format!(
+        Err(MapError::infeasible(format!(
             "no II in {min_ii}..={max_ii} admits an embedding"
         )))
     }

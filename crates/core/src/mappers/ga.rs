@@ -155,7 +155,7 @@ impl Mapper for Genetic {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
+        let (min_ii, max_ii) = cfg.ii_range_for(dfg, mii, fabric)?;
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
 
@@ -186,7 +186,7 @@ impl Mapper for Genetic {
                 return Err(budget.error());
             }
         }
-        Err(MapError::Infeasible(format!(
+        Err(MapError::infeasible(format!(
             "no routable individual in II {min_ii}..={max_ii}"
         )))
     }

@@ -37,7 +37,7 @@ impl Mapper for GraphDrawing {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         if dfg.node_count() > fabric.num_pes() {
-            return Err(MapError::Infeasible(format!(
+            return Err(MapError::infeasible(format!(
                 "{} ops > {} PEs",
                 dfg.node_count(),
                 fabric.num_pes()
@@ -97,14 +97,14 @@ impl Mapper for GraphDrawing {
                     used[pe.index()] = true;
                     pes[id.index()] = pe;
                 }
-                None => return Err(MapError::Infeasible(format!("no free capable PE for {id}"))),
+                None => return Err(MapError::infeasible(format!("no free capable PE for {id}"))),
             }
         }
 
         // 3. Schedule + route.
         let topo = cfg.topo_for(fabric);
         let m = finish_spatial(dfg, fabric, &topo, &pes, true, &cfg.telemetry)
-            .ok_or_else(|| MapError::Infeasible("drawing legalised but unroutable".into()))?;
+            .ok_or_else(|| MapError::infeasible("drawing legalised but unroutable"))?;
         cfg.telemetry.bump(Counter::Incumbents);
         cfg.ledger.incumbent("graph-drawing", m.ii, m.ii as f64);
         Ok(m)

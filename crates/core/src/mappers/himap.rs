@@ -200,7 +200,7 @@ impl Mapper for HiMap {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
+        let (min_ii, max_ii) = cfg.ii_range_for(dfg, mii, fabric)?;
         let topo = cfg.topo_for(fabric);
         let clusters = cluster_dfg(dfg, self.cluster_size);
         let centres = self.region_centres(dfg, &clusters, fabric);
@@ -234,7 +234,7 @@ impl Mapper for HiMap {
                 radius *= 2;
             }
         }
-        Err(MapError::Infeasible(format!(
+        Err(MapError::infeasible(format!(
             "no II in {min_ii}..={max_ii} admits a hierarchical mapping"
         )))
     }

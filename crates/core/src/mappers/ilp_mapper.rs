@@ -26,6 +26,7 @@
 //! explore the same candidate spaces and achieve identical IIs.
 
 use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace};
+use crate::diagnosis::{cap_list, cell_name, op_name, Diagnosis, ResourceClass};
 use crate::engine::Budget;
 use crate::incremental::{kernel_fingerprint, IncrKey};
 use crate::ledger::Ledger;
@@ -33,7 +34,8 @@ use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId, TopologyCache};
-use cgra_ir::Dfg;
+use cgra_ir::{Dfg, NodeId};
+use cgra_solver::ilp::IlpConfig;
 use cgra_solver::{Cmp, IlpModel, IlpResult, IlpVar, IlpWarmStart, IncumbentHook};
 use std::collections::{BTreeMap, HashSet};
 use std::time::Duration;
@@ -77,6 +79,15 @@ struct IlpSolved {
     vars: Vec<Vec<IlpVar>>,
     warm: IlpWarmStart,
 }
+
+/// Row-tag taxonomy for infeasibility forensics: every constraint row
+/// is stamped with the resource class it encodes, so the drop-group
+/// probe ([`IlpModel::probe_without`]) can attribute an infeasible
+/// model to the class whose removal restores feasibility.
+const TAG_CAPABILITY: u32 = 1;
+const TAG_SLOT: u32 = 2;
+const TAG_ROUTE: u32 = 3;
+const TAG_REGISTER: u32 = 4;
 
 /// Outcome of one II attempt.
 enum TryIi {
@@ -152,6 +163,7 @@ impl IlpMapper {
                 })
                 .collect();
 
+            model.set_row_tag(TAG_CAPABILITY);
             for ovars in &vars {
                 model.exactly_one(ovars);
             }
@@ -159,6 +171,7 @@ impl IlpMapper {
             // BTreeMap: row order must not depend on the process hash
             // seed, or simplex pivot order (and with it the whole B&B
             // trajectory) varies run to run.
+            model.set_row_tag(TAG_SLOT);
             let mut by_slot: BTreeMap<(PeId, u32), Vec<IlpVar>> = BTreeMap::new();
             for (o, ps) in space.positions.iter().enumerate() {
                 for (k, &(pe, t)) in ps.iter().enumerate() {
@@ -172,6 +185,7 @@ impl IlpMapper {
             }
 
             // Edge reachability: x_src_a ≤ Σ compatible x_dst_b.
+            model.set_row_tag(TAG_ROUTE);
             for (_, e) in dfg.edges() {
                 let src_op = dfg.op(e.src);
                 for (ka, &a) in space.positions[e.src.index()].iter().enumerate() {
@@ -187,6 +201,7 @@ impl IlpMapper {
                     model.add_constraint(&row, Cmp::Le, 0.0);
                 }
             }
+            model.set_row_tag(TAG_REGISTER);
 
             model.set_interrupt(budget.interrupt());
             model.set_on_incumbent(hook());
@@ -327,6 +342,173 @@ impl IlpMapper {
             Ok(None) => Ok(TryIi::Unknown),
         }
     }
+
+    /// Failure forensics at a single II: rebuild the tagged model and
+    /// run the drop-group probe — the resource class whose rows, when
+    /// removed, restore feasibility is the binding one.
+    fn diagnose_ii(
+        &self,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        ii: u32,
+        mii: u32,
+        topo: &TopologyCache,
+        budget: &Budget,
+    ) -> Diagnosis {
+        let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, Some(self.position_cap));
+        if let Some(o) = space.positions.iter().position(|ps| ps.is_empty()) {
+            let n = NodeId(o as u32);
+            let mut d = Diagnosis::new(
+                ResourceClass::Capability,
+                ii,
+                mii,
+                format!(
+                    "{} has no candidate position at II {ii}: \
+                     no capable cell inside the placement window",
+                    op_name(dfg, n)
+                ),
+            );
+            d.ops = vec![op_name(dfg, n)];
+            return d;
+        }
+        let mut model = IlpModel::new(false);
+        let vars: Vec<Vec<IlpVar>> = space
+            .positions
+            .iter()
+            .map(|ps| ps.iter().map(|&(_, t)| model.add_var(t as f64)).collect())
+            .collect();
+        model.set_row_tag(TAG_CAPABILITY);
+        for ovars in &vars {
+            model.exactly_one(ovars);
+        }
+        model.set_row_tag(TAG_SLOT);
+        let mut by_slot: BTreeMap<(PeId, u32), Vec<IlpVar>> = BTreeMap::new();
+        for (o, ps) in space.positions.iter().enumerate() {
+            for (k, &(pe, t)) in ps.iter().enumerate() {
+                by_slot.entry((pe, t % ii)).or_default().push(vars[o][k]);
+            }
+        }
+        for slot_vars in by_slot.values() {
+            if slot_vars.len() > 1 {
+                model.at_most_one(slot_vars);
+            }
+        }
+        model.set_row_tag(TAG_ROUTE);
+        for (_, e) in dfg.edges() {
+            let src_op = dfg.op(e.src);
+            for (ka, &a) in space.positions[e.src.index()].iter().enumerate() {
+                let mut row: Vec<(IlpVar, f64)> = vec![(vars[e.src.index()][ka], 1.0)];
+                for (kb, &b) in space.positions[e.dst.index()].iter().enumerate() {
+                    if e.src == e.dst && ka != kb {
+                        continue;
+                    }
+                    if edge_compatible(fabric, topo, ii, src_op, e.dist, a, b) {
+                        row.push((vars[e.dst.index()][kb], -1.0));
+                    }
+                }
+                model.add_constraint(&row, Cmp::Le, 0.0);
+            }
+        }
+        model.set_interrupt(budget.interrupt());
+        let ilp_cfg = IlpConfig {
+            time_limit: budget.remaining().unwrap_or(Duration::MAX),
+            node_limit: 4_000,
+            warm_lp: false,
+        };
+        match model.solve_with(ilp_cfg) {
+            IlpResult::Optimal { .. } => {
+                let mut d = Diagnosis::new(
+                    ResourceClass::Register,
+                    ii,
+                    mii,
+                    format!(
+                        "the ILP relaxation is feasible at II {ii}; every assignment \
+                         failed route realisation within {} CEGAR rounds \
+                         (register/congestion pressure the linear model cannot see)",
+                        self.cegar_rounds.max(1)
+                    ),
+                );
+                d.core = vec!["register".into()];
+                d
+            }
+            IlpResult::Budget { .. } => Diagnosis::new(
+                ResourceClass::Routing,
+                ii,
+                mii,
+                format!("diagnostic probe at II {ii} hit its budget before a verdict"),
+            ),
+            IlpResult::Infeasible => {
+                let groups = [
+                    (TAG_CAPABILITY, ResourceClass::Capability),
+                    (TAG_SLOT, ResourceClass::SlotExclusive),
+                    (TAG_ROUTE, ResourceClass::Routing),
+                ];
+                let binding: Vec<ResourceClass> = groups
+                    .iter()
+                    .filter(|(tag, _)| {
+                        matches!(
+                            model.probe_without(*tag, ilp_cfg),
+                            IlpResult::Optimal { .. }
+                        )
+                    })
+                    .map(|&(_, class)| class)
+                    .collect();
+                let (class, detail) = match binding.first() {
+                    Some(&c) => (
+                        c,
+                        format!(
+                            "drop-group probe at II {ii}: removing the {c} rows \
+                             restores feasibility"
+                        ),
+                    ),
+                    None => (
+                        ResourceClass::Capability,
+                        format!(
+                            "no single constraint group is individually binding at \
+                             II {ii}; the conflict spans several resource classes"
+                        ),
+                    ),
+                };
+                let mut d = Diagnosis::new(class, ii, mii, detail);
+                d.core = if binding.is_empty() {
+                    groups.iter().map(|(_, c)| c.label().to_string()).collect()
+                } else {
+                    binding.iter().map(|c| c.label().to_string()).collect()
+                };
+                match class {
+                    ResourceClass::Capability => {
+                        // Ops whose candidate sets are the most starved.
+                        let min = space.positions.iter().map(|ps| ps.len()).min().unwrap_or(0);
+                        d.ops = cap_list(
+                            space
+                                .positions
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, ps)| ps.len() == min)
+                                .map(|(o, _)| op_name(dfg, NodeId(o as u32)))
+                                .collect(),
+                        );
+                    }
+                    ResourceClass::SlotExclusive => {
+                        // Cells whose (pe, slot) groups are the most
+                        // oversubscribed.
+                        let peak = by_slot.values().map(Vec::len).max().unwrap_or(0);
+                        let mut cells: Vec<PeId> = by_slot
+                            .iter()
+                            .filter(|(_, v)| v.len() == peak)
+                            .map(|(&(pe, _), _)| pe)
+                            .collect();
+                        cells.sort_by_key(|pe| pe.0);
+                        cells.dedup();
+                        d.cells =
+                            cap_list(cells.into_iter().map(|pe| cell_name(fabric, pe)).collect());
+                    }
+                    _ => {}
+                }
+                d
+            }
+        }
+    }
 }
 
 impl Mapper for IlpMapper {
@@ -342,7 +524,7 @@ impl Mapper for IlpMapper {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
+        let (min_ii, max_ii) = cfg.ii_range_for(dfg, mii, fabric)?;
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         let key = IncrKey {
@@ -405,9 +587,14 @@ impl Mapper for IlpMapper {
         if cfg.incremental {
             cfg.incr.put(key, pool);
         }
-        Err(MapError::Infeasible(format!(
-            "ILP infeasible for every II in {min_ii}..={max_ii} (candidate window)"
-        )))
+        let why = format!("ILP infeasible for every II in {min_ii}..={max_ii} (candidate window)");
+        if cfg.explain {
+            let probe_budget = cfg.run_budget();
+            let d = self.diagnose_ii(dfg, fabric, max_ii, mii, &topo, &probe_budget);
+            Err(MapError::infeasible_with(why, d))
+        } else {
+            Err(MapError::infeasible(why))
+        }
     }
 }
 
@@ -417,6 +604,33 @@ mod tests {
     use crate::validate::validate;
     use cgra_arch::Topology;
     use cgra_ir::kernels;
+
+    #[test]
+    fn explain_attaches_diagnosis_and_drop_group_probe_is_deterministic() {
+        let mut f = Fabric::homogeneous(2, 2, Topology::Mesh);
+        for pe in 1..4 {
+            f.cells[pe].mul = false;
+        }
+        let dfg = kernels::fir(4);
+        // II pinned below MII: analytic capability diagnosis.
+        let cfg = MapConfig {
+            max_ii: 1,
+            explain: true,
+            ..MapConfig::fast()
+        };
+        let err = IlpMapper::default().map(&dfg, &f, &cfg).unwrap_err();
+        let d = err.diagnosis().expect("explain must attach a diagnosis");
+        assert_eq!(d.class, ResourceClass::Capability);
+        // The tagged-model probe itself, at a feasible-range II.
+        let base = MapConfig::fast();
+        let topo = base.topo_for(&f);
+        let m = IlpMapper::default();
+        let p1 = m.diagnose_ii(&dfg, &f, 1, 4, &topo, &base.run_budget());
+        let p2 = m.diagnose_ii(&dfg, &f, 1, 4, &topo, &base.run_budget());
+        assert_eq!(p1, p2, "probe must be deterministic");
+        assert!(!p1.core.is_empty());
+        assert_ne!(p1.class, ResourceClass::Register);
+    }
 
     #[test]
     fn ilp_maps_tiny_kernels() {

@@ -129,7 +129,7 @@ impl Mapper for ModuloList {
     fn map(&self, dfg: &Dfg, fabric: &Fabric, cfg: &MapConfig) -> Result<Mapping, MapError> {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
-        let (min_ii, max_ii) = cfg.ii_range(Self::mii(dfg, fabric), fabric)?;
+        let (min_ii, max_ii) = cfg.ii_range_for(dfg, Self::mii(dfg, fabric), fabric)?;
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
 
@@ -146,7 +146,7 @@ impl Mapper for ModuloList {
                         return Err(budget.error());
                     }
                 }
-                Err(MapError::Infeasible(format!(
+                Err(MapError::infeasible(format!(
                     "no II in {min_ii}..={max_ii} admits a schedule"
                 )))
             }
@@ -180,7 +180,7 @@ impl Mapper for ModuloList {
                         break;
                     }
                 }
-                best.ok_or(MapError::Infeasible(format!(
+                best.ok_or(MapError::infeasible(format!(
                     "no II in {min_ii}..={max_ii} admits a schedule"
                 )))
             }

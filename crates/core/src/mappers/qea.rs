@@ -51,7 +51,7 @@ impl Mapper for Qea {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
+        let (min_ii, max_ii) = cfg.ii_range_for(dfg, mii, fabric)?;
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
         let n = dfg.node_count();
@@ -72,7 +72,7 @@ impl Mapper for Qea {
                 })
                 .collect();
             if feasible.iter().any(|f| f.is_empty()) {
-                return Err(MapError::Infeasible("an op has no capable PE".into()));
+                return Err(MapError::infeasible("an op has no capable PE"));
             }
             let mut prob: Vec<Vec<f64>> = feasible
                 .iter()
@@ -156,7 +156,7 @@ impl Mapper for Qea {
                 return Err(budget.error());
             }
         }
-        Err(MapError::Infeasible(format!(
+        Err(MapError::infeasible(format!(
             "no routable observation in II {min_ii}..={max_ii}"
         )))
     }

@@ -131,7 +131,7 @@ impl Mapper for SimulatedAnnealing {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
+        let (min_ii, max_ii) = cfg.ii_range_for(dfg, mii, fabric)?;
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
 
@@ -176,7 +176,7 @@ impl Mapper for SimulatedAnnealing {
                 return Err(budget.error());
             }
         }
-        Err(MapError::Infeasible(format!(
+        Err(MapError::infeasible(format!(
             "annealing found no routable binding in II {min_ii}..={max_ii}"
         )))
     }

@@ -32,6 +32,7 @@
 //! see the same feasible set per II and achieve identical IIs.
 
 use super::exact_common::{add_solver_stats, edge_compatible, realise, PositionSpace, SweepSpace};
+use crate::diagnosis::{cap_list, cell_name, op_name, Diagnosis, ResourceClass};
 use crate::engine::Budget;
 use crate::incremental::{kernel_fingerprint, IncrKey};
 use crate::ledger::Ledger;
@@ -39,10 +40,10 @@ use crate::mapper::{Family, MapConfig, MapError, Mapper};
 use crate::mapping::Mapping;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use cgra_arch::{Fabric, PeId, TopologyCache};
-use cgra_ir::Dfg;
+use cgra_ir::{Dfg, NodeId};
 use cgra_solver::cnf::{at_most_one, exactly_one, AmoEncoding};
 use cgra_solver::{Interrupt, Lit, SatResult, SatSolver};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 /// The SAT mapper.
 #[derive(Debug, Clone)]
@@ -348,7 +349,7 @@ impl SatMapper {
                 return out;
             }
         }
-        Err(MapError::Infeasible(format!(
+        Err(MapError::infeasible(format!(
             "UNSAT for every II in {min_ii}..={max_ii} (within the candidate window)"
         )))
     }
@@ -465,6 +466,224 @@ impl SatMapper {
         add_solver_stats(tele, solver.stats());
         result
     }
+
+    /// Failure forensics at a single II: a from-scratch re-encoding
+    /// with every constraint class guarded by its own assumption
+    /// literal — one per op for the at-least-one layer, one per PE for
+    /// slot exclusivity, one each for the dependence-latency and
+    /// routing-reachability edge layers. The solver's final-conflict
+    /// core ([`SatSolver::failed_assumptions`]) then names exactly the
+    /// groups that participated in the refutation.
+    fn diagnose_ii(
+        &self,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        ii: u32,
+        mii: u32,
+        topo: &TopologyCache,
+        budget: &Budget,
+    ) -> Diagnosis {
+        let space = PositionSpace::build(dfg, fabric, ii, self.window_iis, self.position_cap);
+        if let Some(o) = space.positions.iter().position(|ps| ps.is_empty()) {
+            let n = NodeId(o as u32);
+            let mut d = Diagnosis::new(
+                ResourceClass::Capability,
+                ii,
+                mii,
+                format!(
+                    "{} has no candidate position at II {ii}: \
+                     no capable cell inside the placement window",
+                    op_name(dfg, n)
+                ),
+            );
+            d.ops = vec![op_name(dfg, n)];
+            return d;
+        }
+        let mut solver = SatSolver::new();
+        solver.interrupt = budget.interrupt();
+        let vars: Vec<Vec<Lit>> = space
+            .positions
+            .iter()
+            .map(|ps| ps.iter().map(|_| Lit::pos(solver.new_var())).collect())
+            .collect();
+        let op_sels: Vec<Lit> = (0..vars.len()).map(|_| solver.new_selector()).collect();
+        let pe_sels: Vec<Lit> = fabric.pe_ids().map(|_| solver.new_selector()).collect();
+        let s_lat = solver.new_selector();
+        let s_route = solver.new_selector();
+        // Capability layer: each op must sit somewhere (at-least-one),
+        // guarded per op so the core can name the ops. The at-most-one
+        // half is structural — dropping a position never causes UNSAT —
+        // and stays unguarded.
+        for (o, ovars) in vars.iter().enumerate() {
+            solver.add_clause_under(op_sels[o], ovars);
+            for i in 0..ovars.len() {
+                for j in i + 1..ovars.len() {
+                    solver.add_clause(&[ovars[i].negate(), ovars[j].negate()]);
+                }
+            }
+        }
+        // Slot-exclusivity layer, guarded per PE so cores name cells.
+        let mut by_slot: BTreeMap<(PeId, u32), Vec<Lit>> = BTreeMap::new();
+        for (o, ps) in space.positions.iter().enumerate() {
+            for (k, &(pe, t)) in ps.iter().enumerate() {
+                by_slot.entry((pe, t % ii)).or_default().push(vars[o][k]);
+            }
+        }
+        for ((pe, _), lits) in &by_slot {
+            let sel = pe_sels[pe.0 as usize];
+            for i in 0..lits.len() {
+                for j in i + 1..lits.len() {
+                    solver.add_clause_under(sel, &[lits[i].negate(), lits[j].negate()]);
+                }
+            }
+        }
+        // Edge layers: latency feasibility (consumer no earlier than
+        // producer-ready) and full hop-reachability, separately guarded
+        // so a core can tell "values cannot wait long enough" apart
+        // from "values cannot travel far enough".
+        for (_, e) in dfg.edges() {
+            let src_op = dfg.op(e.src);
+            for (ka, &a) in space.positions[e.src.index()].iter().enumerate() {
+                let mut lat_clause = vec![vars[e.src.index()][ka].negate()];
+                let mut route_clause = lat_clause.clone();
+                for (kb, &b) in space.positions[e.dst.index()].iter().enumerate() {
+                    if e.src == e.dst && ka != kb {
+                        continue; // self edge: same position both sides
+                    }
+                    let tr = a.1 + fabric.latency_of(src_op);
+                    let tc = b.1 + ii * e.dist;
+                    if tc >= tr {
+                        lat_clause.push(vars[e.dst.index()][kb]);
+                        if topo.hops(a.0, b.0) <= tc - tr {
+                            route_clause.push(vars[e.dst.index()][kb]);
+                        }
+                    }
+                }
+                solver.add_clause_under(s_lat, &lat_clause);
+                solver.add_clause_under(s_route, &route_clause);
+            }
+        }
+        let mut assumptions: Vec<Lit> = Vec::new();
+        assumptions.extend(&op_sels);
+        assumptions.extend(&pe_sels);
+        assumptions.push(s_lat);
+        assumptions.push(s_route);
+        match solver.solve_with_assumptions(&assumptions) {
+            SatResult::Sat(_) => {
+                let mut d = Diagnosis::new(
+                    ResourceClass::Register,
+                    ii,
+                    mii,
+                    format!(
+                        "the placement CNF is satisfiable at II {ii}; every model \
+                         failed route realisation within {} CEGAR rounds \
+                         (register/congestion pressure the encoding cannot see)",
+                        self.cegar_rounds.max(1)
+                    ),
+                );
+                d.core = vec!["register".into()];
+                d
+            }
+            SatResult::Unknown => Diagnosis::new(
+                ResourceClass::Routing,
+                ii,
+                mii,
+                format!("diagnostic probe at II {ii} interrupted before a core was extracted"),
+            ),
+            SatResult::Unsat => {
+                let failed: HashSet<Lit> = solver.failed_assumptions().iter().copied().collect();
+                let ops: Vec<String> = op_sels
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| failed.contains(s))
+                    .map(|(o, _)| op_name(dfg, NodeId(o as u32)))
+                    .collect();
+                let cells: Vec<String> = fabric
+                    .pe_ids()
+                    .filter(|pe| failed.contains(&pe_sels[pe.0 as usize]))
+                    .map(|pe| cell_name(fabric, pe))
+                    .collect();
+                let lat = failed.contains(&s_lat);
+                let route = failed.contains(&s_route);
+                // The most specific layer in the conflict wins: edge
+                // layers only appear when they actually bind, cell
+                // exclusivity next, bare op constraints mean the
+                // candidate sets themselves are starved.
+                let class = if route {
+                    ResourceClass::Routing
+                } else if lat {
+                    ResourceClass::DependenceLatency
+                } else if !cells.is_empty() {
+                    ResourceClass::SlotExclusive
+                } else {
+                    ResourceClass::Capability
+                };
+                let mut core = Vec::new();
+                if !ops.is_empty() {
+                    core.push(ResourceClass::Capability.label().to_string());
+                }
+                if !cells.is_empty() {
+                    core.push(ResourceClass::SlotExclusive.label().to_string());
+                }
+                if lat {
+                    core.push(ResourceClass::DependenceLatency.label().to_string());
+                }
+                if route {
+                    core.push(ResourceClass::Routing.label().to_string());
+                }
+                let mut d = Diagnosis::new(
+                    class,
+                    ii,
+                    mii,
+                    format!(
+                        "final-conflict core at II {ii}: {} op placement constraint(s), \
+                         {} cell exclusivity group(s){}{}",
+                        ops.len(),
+                        cells.len(),
+                        if lat {
+                            ", the dependence-latency layer"
+                        } else {
+                            ""
+                        },
+                        if route {
+                            ", the routing-reachability layer"
+                        } else {
+                            ""
+                        }
+                    ),
+                );
+                d.ops = cap_list(ops);
+                d.cells = cap_list(cells);
+                d.core = core;
+                d
+            }
+        }
+    }
+
+    /// Attach a probe-derived [`Diagnosis`] to a bare infeasibility
+    /// when forensics are on (an error that already carries one — e.g.
+    /// from the empty-II-range analysis — passes through untouched).
+    fn explain_failure(
+        &self,
+        err: MapError,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        cfg: &MapConfig,
+        mii: u32,
+        probe_ii: u32,
+    ) -> MapError {
+        match err {
+            MapError::Infeasible(mut inf) if cfg.explain && inf.diagnosis.is_none() => {
+                let topo = cfg.topo_for(fabric);
+                let budget = cfg.run_budget();
+                inf.diagnosis = Some(Box::new(
+                    self.diagnose_ii(dfg, fabric, probe_ii, mii, &topo, &budget),
+                ));
+                MapError::Infeasible(inf)
+            }
+            other => other,
+        }
+    }
 }
 
 impl Mapper for SatMapper {
@@ -480,9 +699,11 @@ impl Mapper for SatMapper {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         let mii = super::ModuloList::mii(dfg, fabric);
-        let (min_ii, max_ii) = cfg.ii_range(mii, fabric)?;
+        let (min_ii, max_ii) = cfg.ii_range_for(dfg, mii, fabric)?;
         if cfg.incremental {
-            return self.map_incremental(dfg, fabric, cfg, min_ii, max_ii);
+            return self
+                .map_incremental(dfg, fabric, cfg, min_ii, max_ii)
+                .map_err(|e| self.explain_failure(e, dfg, fabric, cfg, mii, max_ii));
         }
         let topo = cfg.topo_for(fabric);
         let budget = cfg.run_budget();
@@ -493,9 +714,16 @@ impl Mapper for SatMapper {
                 Err(e) => return Err(e),
             }
         }
-        Err(MapError::Infeasible(format!(
-            "UNSAT for every II in {min_ii}..={max_ii} (within the candidate window)"
-        )))
+        Err(self.explain_failure(
+            MapError::infeasible(format!(
+                "UNSAT for every II in {min_ii}..={max_ii} (within the candidate window)"
+            )),
+            dfg,
+            fabric,
+            cfg,
+            mii,
+            max_ii,
+        ))
     }
 }
 
@@ -574,6 +802,67 @@ mod tests {
                 b.ii
             );
         }
+    }
+
+    /// 2×2 mesh where only pe0 multiplies — the capability-starved
+    /// forensics fixture.
+    fn mul_starved() -> Fabric {
+        let mut f = Fabric::homogeneous(2, 2, Topology::Mesh);
+        for pe in 1..4 {
+            f.cells[pe].mul = false;
+        }
+        f
+    }
+
+    #[test]
+    fn explain_attaches_deterministic_diagnosis() {
+        // 4 tap-multiplies, one mul-capable cell, II pinned below MII:
+        // the empty II range yields the analytic capability diagnosis.
+        let f = mul_starved();
+        let dfg = kernels::fir(4);
+        let cfg = MapConfig {
+            max_ii: 1,
+            explain: true,
+            ..MapConfig::fast()
+        };
+        let e1 = SatMapper::default().map(&dfg, &f, &cfg).unwrap_err();
+        let e2 = SatMapper::default().map(&dfg, &f, &cfg).unwrap_err();
+        let d = e1.diagnosis().expect("explain must attach a diagnosis");
+        assert_eq!(Some(d), e2.diagnosis(), "diagnosis must be deterministic");
+        assert_eq!(d.class, crate::diagnosis::ResourceClass::Capability);
+        assert!(d.render().contains("multiplier"), "{}", d.render());
+        assert!(!d.ops.is_empty() && !d.cells.is_empty());
+        // Without --explain the same failure carries no diagnosis and
+        // renders the same prose as before.
+        let plain_cfg = MapConfig {
+            max_ii: 1,
+            ..MapConfig::fast()
+        };
+        let plain = SatMapper::default().map(&dfg, &f, &plain_cfg).unwrap_err();
+        assert!(plain.diagnosis().is_none());
+    }
+
+    #[test]
+    fn diagnose_ii_extracts_a_final_conflict_core() {
+        let f = mul_starved();
+        let dfg = kernels::fir(4);
+        let cfg = MapConfig::fast();
+        let topo = cfg.topo_for(&f);
+        let m = SatMapper::default();
+        let d = m.diagnose_ii(&dfg, &f, 1, 4, &topo, &cfg.run_budget());
+        let d2 = m.diagnose_ii(&dfg, &f, 1, 4, &topo, &cfg.run_budget());
+        assert_eq!(d, d2, "probe must be deterministic");
+        assert!(!d.core.is_empty());
+        assert_eq!(d.ii, 1);
+        assert_eq!(d.mii, 4);
+        // 4 muls contending for pe0 at II 1: the core names ops and/or
+        // the contended cell, never the register fallback.
+        assert_ne!(d.class, crate::diagnosis::ResourceClass::Register);
+        assert!(
+            !d.ops.is_empty() || !d.cells.is_empty(),
+            "core must implicate ops or cells: {}",
+            d.render()
+        );
     }
 
     #[test]

@@ -222,7 +222,7 @@ impl Mapper for SmtMapper {
             }
             horizon *= 2;
         }
-        Err(MapError::Infeasible(format!(
+        Err(MapError::infeasible(format!(
             "no horizon up to {} admits an SMT model",
             fabric.context_depth
         )))

@@ -98,7 +98,7 @@ impl Mapper for SpatialGreedy {
         dfg.validate()
             .map_err(|e| MapError::Unsupported(e.to_string()))?;
         if dfg.node_count() > fabric.num_pes() {
-            return Err(MapError::Infeasible(format!(
+            return Err(MapError::infeasible(format!(
                 "{} ops > {} PEs",
                 dfg.node_count(),
                 fabric.num_pes()
@@ -136,7 +136,7 @@ impl Mapper for SpatialGreedy {
                     used[pe.index()] = true;
                     pes[n.index()] = Some(pe);
                 }
-                None => return Err(MapError::Infeasible(format!("no free capable PE for {n}"))),
+                None => return Err(MapError::infeasible(format!("no free capable PE for {n}"))),
             }
         }
         let pes: Vec<PeId> = pes.into_iter().map(|p| p.unwrap()).collect();
@@ -148,7 +148,7 @@ impl Mapper for SpatialGreedy {
             !self.plain_routing,
             &cfg.telemetry,
         )
-        .ok_or_else(|| MapError::Infeasible("binding found but routing failed".into()))?;
+        .ok_or_else(|| MapError::infeasible("binding found but routing failed"))?;
         cfg.telemetry.bump(Counter::Incumbents);
         cfg.ledger.incumbent("spatial-greedy", m.ii, m.ii as f64);
         Ok(m)

@@ -149,7 +149,8 @@ impl<'a> SchedState<'a> {
                 }
             }
             self.tele.bump(Counter::RoutingCalls);
-            match find_route_with(
+            let route_t0 = self.tele.is_enabled().then(std::time::Instant::now);
+            let routed = find_route_with(
                 self.fabric,
                 self.topo,
                 &trial,
@@ -161,7 +162,11 @@ impl<'a> SchedState<'a> {
                 None,
                 RouteOpts::default(),
                 &mut self.scratch,
-            ) {
+            );
+            if let Some(t0) = route_t0 {
+                self.tele.record_route_us(t0.elapsed().as_micros() as u64);
+            }
+            match routed {
                 Some(r) => {
                     for (i, &p2) in r.steps.iter().enumerate() {
                         let tt = r.start_time + i as u32;

@@ -51,6 +51,113 @@ impl Metrics {
     }
 }
 
+/// Per-cell fabric occupancy of a mapping, folded modulo II — the data
+/// behind the utilization heatmaps. Integer fields only, so the JSON
+/// form round-trips exactly and renders are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtilizationMap {
+    pub rows: u16,
+    pub cols: u16,
+    pub ii: u32,
+    /// Issue slots occupied per PE over one II window (0..=ii), indexed
+    /// by PE id (row-major).
+    pub fu_used: Vec<u32>,
+    /// Register-cycles held per PE over one II window — the routing
+    /// pressure each cell carries for values passing through.
+    pub reg_used: Vec<u32>,
+}
+
+impl UtilizationMap {
+    /// Measure a mapping (assumed valid).
+    pub fn of(mapping: &Mapping, dfg: &Dfg, fabric: &Fabric) -> UtilizationMap {
+        let st = mapping.occupancy(dfg, fabric);
+        let mut fu_used = Vec::with_capacity(fabric.num_pes());
+        let mut reg_used = Vec::with_capacity(fabric.num_pes());
+        for pe in fabric.pe_ids() {
+            let mut fu = 0;
+            let mut reg = 0;
+            for slot in 0..mapping.ii {
+                fu += st.fu_count(pe, slot);
+                reg += st.reg_count(pe, slot);
+            }
+            fu_used.push(fu);
+            reg_used.push(reg);
+        }
+        UtilizationMap {
+            rows: fabric.rows,
+            cols: fabric.cols,
+            ii: mapping.ii,
+            fu_used,
+            reg_used,
+        }
+    }
+
+    /// Hand-parse from a JSON tree; `None` if the shape is missing.
+    pub fn from_json(v: &serde::Value) -> Option<UtilizationMap> {
+        use serde::Value;
+        let nums = |k: &str| -> Vec<u32> {
+            match v.get(k) {
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .filter_map(Value::as_u64)
+                    .map(|n| n as u32)
+                    .collect(),
+                _ => Vec::new(),
+            }
+        };
+        Some(UtilizationMap {
+            rows: v.get("rows")?.as_u64()? as u16,
+            cols: v.get("cols")?.as_u64()? as u16,
+            ii: v.get("ii").and_then(Value::as_u64).unwrap_or(1) as u32,
+            fu_used: nums("fu_used"),
+            reg_used: nums("reg_used"),
+        })
+    }
+
+    /// ASCII heatmap of issue-slot occupancy (full scale = II).
+    pub fn render_fu(&self, fabric: &Fabric) -> String {
+        cgra_arch::render_heatmap(fabric, &self.fu_used, self.ii, "fu occupancy / II window")
+    }
+
+    /// ASCII heatmap of register pressure (full scale = RF capacity
+    /// over one II window).
+    pub fn render_reg(&self, fabric: &Fabric) -> String {
+        cgra_arch::render_heatmap(
+            fabric,
+            &self.reg_used,
+            fabric.rf_size * self.ii,
+            "register pressure / II window",
+        )
+    }
+
+    /// Both heatmaps rendered from the serialized data alone — what
+    /// report viewers use when only the JSON artifact survives, not
+    /// the fabric object. Register pressure is scaled to its observed
+    /// peak (RF capacity is not stored in the map).
+    pub fn render_standalone(&self, arch: &str) -> String {
+        let reg_peak = self.reg_used.iter().copied().max().unwrap_or(0);
+        format!(
+            "{}{}",
+            cgra_arch::render_heatmap_grid(
+                arch,
+                self.rows,
+                self.cols,
+                &self.fu_used,
+                self.ii,
+                "fu occupancy / II window",
+            ),
+            cgra_arch::render_heatmap_grid(
+                arch,
+                self.rows,
+                self.cols,
+                &self.reg_used,
+                reg_peak,
+                "register pressure / II window (scale = observed peak)",
+            ),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +208,20 @@ mod tests {
         assert_eq!(met.throughput, 1.0);
         assert!((met.fu_utilisation - 3.0 / 16.0).abs() < 1e-9);
         assert!(met.peak_registers >= 1);
+
+        let u = UtilizationMap::of(&m, &dfg, &f);
+        assert_eq!((u.rows, u.cols, u.ii), (4, 4, 1));
+        assert_eq!(u.fu_used.len(), 16);
+        // The three ops sit on pe0..pe2; everything else is idle.
+        assert_eq!(u.fu_used[..3], [1, 1, 1]);
+        assert!(u.fu_used[3..].iter().all(|&v| v == 0));
+        // Routes pass through pe0/pe1; total register-cycles must match
+        // the scalar metric.
+        assert_eq!(u.reg_used.iter().sum::<u32>() as usize, met.register_cycles);
+        let fu_map = u.render_fu(&f);
+        let reg_map = u.render_reg(&f);
+        assert!(fu_map.contains("fu occupancy"));
+        assert!(reg_map.contains("register pressure"));
+        assert_eq!(fu_map, u.render_fu(&f), "render must be deterministic");
     }
 }

@@ -1,9 +1,11 @@
 //! The mapper portfolio: run many mappers over many kernels (in
 //! parallel) and collect the rows of the Table I experiment.
 
+use crate::diagnosis::Diagnosis;
 use crate::ledger::{Ledger, LedgerEvent};
 use crate::mapper::{Family, MapConfig, MapError, Mapper};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, UtilizationMap};
+use crate::report::LatencySummary;
 use crate::telemetry::{StatsSnapshot, Telemetry};
 use crate::validate::validate;
 use cgra_arch::Fabric;
@@ -41,6 +43,20 @@ pub struct PortfolioEntry {
     /// Events lost to the journal's bounded capacity.
     #[serde(default)]
     pub events_dropped: u64,
+    /// Failure forensics: which resource class bound the search (only
+    /// when the job ran with `explain` and the mapper diagnosed it).
+    #[serde(default)]
+    pub diagnosis: Option<Diagnosis>,
+    /// Phase spans lost to the telemetry buffer cap (histograms still
+    /// cover them; see `RunReport::spans_dropped`).
+    #[serde(default)]
+    pub spans_dropped: u64,
+    /// Per-phase latency percentiles from the job's telemetry sink.
+    #[serde(default)]
+    pub latency: Vec<LatencySummary>,
+    /// Fabric occupancy heatmap data (successes only).
+    #[serde(default)]
+    pub utilization: Option<UtilizationMap>,
 }
 
 impl PortfolioEntry {
@@ -74,16 +90,22 @@ pub fn run_portfolio(
             let start = Instant::now();
             let result = mapper.map(kernel, fabric, &job_cfg);
             let compile_ms = start.elapsed().as_secs_f64() * 1e3;
-            let (metrics, error_detail) = match result {
+            let (metrics, utilization, error_detail) = match result {
                 Ok(m) => match validate(&m, kernel, fabric) {
-                    Ok(()) => (Some(Metrics::of(&m, kernel, fabric)), None),
+                    Ok(()) => (
+                        Some(Metrics::of(&m, kernel, fabric)),
+                        Some(UtilizationMap::of(&m, kernel, fabric)),
+                        None,
+                    ),
                     Err(e) => (
                         None,
-                        Some(MapError::Infeasible(format!("INVALID OUTPUT: {e}"))),
+                        None,
+                        Some(MapError::infeasible(format!("INVALID OUTPUT: {e}"))),
                     ),
                 },
-                Err(e) => (None, Some(e)),
+                Err(e) => (None, None, Some(e)),
             };
+            let diagnosis = error_detail.as_ref().and_then(|e| e.diagnosis().cloned());
             PortfolioEntry {
                 mapper: mapper.name().to_string(),
                 family_label: mapper.family().label().to_string(),
@@ -97,6 +119,10 @@ pub fn run_portfolio(
                 stats: job_cfg.telemetry.snapshot(),
                 events: job_cfg.ledger.events(),
                 events_dropped: job_cfg.ledger.events_dropped(),
+                diagnosis,
+                spans_dropped: job_cfg.telemetry.spans_dropped(),
+                latency: LatencySummary::rows_from(&job_cfg.telemetry),
+                utilization,
             }
         })
         .collect()

@@ -14,11 +14,12 @@
 //! optional fields default, so version-1 readers tolerate later
 //! additive changes.
 
+use crate::diagnosis::Diagnosis;
 use crate::ledger::LedgerEvent;
 use crate::mapper::MapConfig;
-use crate::metrics::Metrics;
-use crate::telemetry::{SpanRecord, StatsSnapshot};
-use serde::{Serialize, Value};
+use crate::metrics::{Metrics, UtilizationMap};
+use crate::telemetry::{Histogram, Phase, SpanRecord, StatsSnapshot, Telemetry};
+use serde::{Deserialize, Serialize, Value};
 use std::path::Path;
 
 /// Format version written into every report; bump on breaking changes.
@@ -60,6 +61,63 @@ impl ConfigDigest {
     }
 }
 
+/// Percentile summary of one latency histogram (µs): one row per
+/// pipeline phase that recorded spans, plus the per-route-call
+/// distribution. Reports carry the summary rows, not the raw buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Phase label (`"map"`, `"route"`, …) or `"route-call"` for the
+    /// per-router-invocation distribution.
+    pub phase: String,
+    pub count: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+}
+
+impl LatencySummary {
+    fn of(phase: &str, h: &Histogram) -> LatencySummary {
+        LatencySummary {
+            phase: phase.to_string(),
+            count: h.count(),
+            p50_us: h.p50(),
+            p90_us: h.p90(),
+            p99_us: h.p99(),
+        }
+    }
+
+    /// Summary rows for every non-empty histogram in `tele`, in
+    /// [`Phase::ALL`] order, route-call distribution last. Empty when
+    /// telemetry was disabled.
+    pub fn rows_from(tele: &Telemetry) -> Vec<LatencySummary> {
+        let mut rows = Vec::new();
+        for p in Phase::ALL {
+            if let Some(h) = tele.phase_histogram(p) {
+                if !h.is_empty() {
+                    rows.push(LatencySummary::of(p.label(), &h));
+                }
+            }
+        }
+        if let Some(h) = tele.route_histogram() {
+            if !h.is_empty() {
+                rows.push(LatencySummary::of("route-call", &h));
+            }
+        }
+        rows
+    }
+
+    fn from_json(v: &Value) -> Option<LatencySummary> {
+        let g = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+        Some(LatencySummary {
+            phase: v.get("phase")?.as_str()?.to_string(),
+            count: g("count"),
+            p50_us: g("p50_us"),
+            p90_us: g("p90_us"),
+            p99_us: g("p99_us"),
+        })
+    }
+}
+
 /// One mapping run, replayable offline.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
@@ -74,6 +132,9 @@ pub struct RunReport {
     pub metrics: Option<Metrics>,
     /// Human-readable failure, `None` on success.
     pub error: Option<String>,
+    /// Structured failure forensics (when the run failed with
+    /// `--explain` on).
+    pub diagnosis: Option<Diagnosis>,
     pub compile_ms: f64,
     /// Search-effort counters (when telemetry was enabled).
     pub snapshot: Option<StatsSnapshot>,
@@ -81,6 +142,15 @@ pub struct RunReport {
     pub events: Vec<LedgerEvent>,
     /// Ledger events lost to journal overflow.
     pub events_dropped: u64,
+    /// Phase spans discarded once the span log hit its cap (the
+    /// latency summaries below remain exact regardless).
+    pub spans_dropped: u64,
+    /// p50/p90/p99 latency rows per phase plus the route-call
+    /// distribution (empty when telemetry was disabled).
+    pub latency: Vec<LatencySummary>,
+    /// Per-cell occupancy of the final mapping, for heatmap rendering
+    /// (`None` on failure or when not measured).
+    pub utilization: Option<UtilizationMap>,
 }
 
 impl RunReport {
@@ -174,10 +244,19 @@ impl RunReport {
                 .unwrap_or_else(|| ConfigDigest::of(&MapConfig::default())),
             metrics: v.get("metrics").and_then(metrics_from_json),
             error: s("error"),
+            diagnosis: v.get("diagnosis").and_then(Diagnosis::from_json),
             compile_ms: v.get("compile_ms").and_then(Value::as_f64).unwrap_or(0.0),
             snapshot: v.get("snapshot").and_then(snapshot_from_json),
             events,
             events_dropped: v.get("events_dropped").and_then(Value::as_u64).unwrap_or(0),
+            spans_dropped: v.get("spans_dropped").and_then(Value::as_u64).unwrap_or(0),
+            latency: match v.get("latency") {
+                Some(Value::Array(items)) => {
+                    items.iter().filter_map(LatencySummary::from_json).collect()
+                }
+                _ => Vec::new(),
+            },
+            utilization: v.get("utilization").and_then(UtilizationMap::from_json),
         })
     }
 }
@@ -237,8 +316,14 @@ fn snapshot_from_json(v: &Value) -> Option<StatsSnapshot> {
 /// via `thread_name` metadata. `RaceStart`…`RaceWin`/`RaceLoss` pairs
 /// become complete ("X") events spanning the mapper's racing window;
 /// incumbents and II probes become instant ("i") events on the
-/// mapper's track.
-pub fn chrome_trace(spans: &[SpanRecord], events: &[LedgerEvent]) -> Value {
+/// mapper's track. Latency-summary rows (p50/p90/p99 per phase) land
+/// as instant events on the pipeline track so percentiles survive even
+/// when the span log was truncated.
+pub fn chrome_trace(
+    spans: &[SpanRecord],
+    events: &[LedgerEvent],
+    latency: &[LatencySummary],
+) -> Value {
     let mut out: Vec<Value> = Vec::new();
     let pid = 1u64;
 
@@ -351,6 +436,25 @@ pub fn chrome_trace(spans: &[SpanRecord], events: &[LedgerEvent]) -> Value {
         }
     }
 
+    let last_span_t = spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .max()
+        .unwrap_or(0);
+    for row in latency {
+        out.push(serde_json::json!({
+            "ph": "i", "s": "g",
+            "name": format!("latency {}: p50={}us p90={}us p99={}us",
+                            row.phase, row.p50_us, row.p90_us, row.p99_us),
+            "cat": "latency", "pid": pid, "tid": 0,
+            "ts": last_span_t.max(last_t),
+            "args": serde_json::json!({
+                "phase": row.phase.clone(), "count": row.count,
+                "p50_us": row.p50_us, "p90_us": row.p90_us, "p99_us": row.p99_us,
+            }),
+        }));
+    }
+
     serde_json::json!({
         "traceEvents": out,
         "displayTimeUnit": "ms",
@@ -384,6 +488,12 @@ mod tests {
                 throughput: 0.5,
             }),
             error: None,
+            diagnosis: Some(crate::diagnosis::Diagnosis::new(
+                crate::diagnosis::ResourceClass::Capability,
+                1,
+                4,
+                "sample",
+            )),
             compile_ms: 12.5,
             snapshot: Some(StatsSnapshot {
                 ii_attempts: 2,
@@ -392,6 +502,21 @@ mod tests {
             }),
             events: ledger.events(),
             events_dropped: 0,
+            spans_dropped: 3,
+            latency: vec![LatencySummary {
+                phase: "map".into(),
+                count: 2,
+                p50_us: 127,
+                p90_us: 255,
+                p99_us: 255,
+            }],
+            utilization: Some(crate::metrics::UtilizationMap {
+                rows: 2,
+                cols: 2,
+                ii: 2,
+                fu_used: vec![2, 1, 0, 0],
+                reg_used: vec![0, 3, 0, 0],
+            }),
         }
     }
 
@@ -409,6 +534,27 @@ mod tests {
         assert_eq!(back.snapshot.unwrap(), r.snapshot.unwrap());
         assert_eq!(back.events, r.events);
         assert!(back.succeeded());
+        // Forensics fields round-trip exactly.
+        assert_eq!(back.diagnosis, r.diagnosis);
+        assert_eq!(back.spans_dropped, 3);
+        assert_eq!(back.latency, r.latency);
+        assert_eq!(back.utilization, r.utilization);
+        // A version-1 report written before these fields existed still
+        // parses, with defaults.
+        let mut old = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        if let Value::Object(fields) = &mut old {
+            fields.retain(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "diagnosis" | "spans_dropped" | "latency" | "utilization"
+                )
+            });
+        }
+        let legacy = RunReport::from_json(&old).expect("legacy reports still parse");
+        assert_eq!(legacy.diagnosis, None);
+        assert_eq!(legacy.spans_dropped, 0);
+        assert!(legacy.latency.is_empty());
+        assert_eq!(legacy.utilization, None);
     }
 
     #[test]
@@ -448,7 +594,19 @@ mod tests {
         ledger.incumbent("sa", 2, 10.0);
         ledger.race_win("sa", 2);
         ledger.race_loss("ilp", "cancelled");
-        let trace = chrome_trace(&tele.spans(), &ledger.events());
+        let trace = chrome_trace(
+            &tele.spans(),
+            &ledger.events(),
+            &LatencySummary::rows_from(&tele),
+        );
+        let lat_events: Vec<&Value> = trace["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["cat"] == "latency")
+            .collect();
+        assert_eq!(lat_events.len(), 1, "one summary row for the parse span");
+        assert_eq!(lat_events[0]["args"]["phase"], "parse");
         let events = trace.get("traceEvents").unwrap().as_array().unwrap();
         // Named tracks: pipeline + sa + ilp (plus the process name).
         let names: Vec<&str> = events

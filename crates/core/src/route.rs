@@ -360,7 +360,8 @@ pub fn route_all_with(
             let from = place[e.src.index()].pe;
             let to = place[e.dst.index()].pe;
             tele.bump(Counter::RoutingCalls);
-            match find_route_with(
+            let route_t0 = tele.is_enabled().then(std::time::Instant::now);
+            let routed = find_route_with(
                 fabric,
                 topo,
                 &st,
@@ -372,7 +373,11 @@ pub fn route_all_with(
                 Some(&hist),
                 opts,
                 &mut scratch,
-            ) {
+            );
+            if let Some(t0) = route_t0 {
+                tele.record_route_us(t0.elapsed().as_micros() as u64);
+            }
+            match routed {
                 Some(r) => {
                     for (i, &pe) in r.steps.iter().enumerate() {
                         let t = r.start_time + i as u32;

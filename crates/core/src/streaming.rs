@@ -196,7 +196,7 @@ pub fn map_streaming(
     }
     let sizes: Vec<usize> = sdf.actors.iter().map(|a| a.node_count()).collect();
     let regions = partition(fabric, &sizes).ok_or_else(|| {
-        MapError::Infeasible(format!(
+        MapError::infeasible(format!(
             "{} actors need at least as many columns; fabric has {}",
             sdf.actors.len(),
             fabric.cols
@@ -207,13 +207,13 @@ pub fn map_streaming(
     for (actor, region) in sdf.actors.iter().zip(&regions) {
         let sub = sub_fabric(fabric, region);
         let m = mapper.map(actor, &sub, cfg).map_err(|e| {
-            MapError::Infeasible(format!(
+            MapError::infeasible(format!(
                 "actor `{}` failed in its {}-column region: {e}",
                 actor.name, sub.cols
             ))
         })?;
         crate::validate::validate(&m, actor, &sub)
-            .map_err(|e| MapError::Infeasible(format!("invalid sub-mapping: {e}")))?;
+            .map_err(|e| MapError::infeasible(format!("invalid sub-mapping: {e}")))?;
         pipeline_ii = pipeline_ii.max(m.ii);
         mappings.push(m);
     }

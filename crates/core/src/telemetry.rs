@@ -137,6 +137,7 @@ const NUM_COUNTERS: usize = Counter::ALL.len();
 /// Pipeline phases timed by spans (the CLI's Fig. 3 flow plus the
 /// mapper-internal map-per-II and routing phases).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(usize)]
 pub enum Phase {
     Parse,
     Optimize,
@@ -185,12 +186,160 @@ pub struct SpanRecord {
 /// this many the log stops growing and only counts the overflow.
 const MAX_SPANS: usize = 16_384;
 
+const NUM_PHASES: usize = Phase::ALL.len();
+
+/// Log2 bucket count: bucket 0 holds the value 0, bucket `b` (1..=62)
+/// holds `[2^(b-1), 2^b)`, bucket 63 holds everything from `2^62` up.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A deterministic log2-bucketed latency histogram.
+///
+/// Bucket boundaries are fixed powers of two, so two histograms built
+/// from the same multiset of samples are identical regardless of
+/// insertion order, and [`merge`](Histogram::merge) (bucket-wise
+/// addition) is associative and commutative — a fleet of per-run
+/// histograms folds into one in any order. Percentile queries return
+/// the *inclusive upper bound* of the bucket holding the requested
+/// rank, so an estimate never undershoots the exact order statistic
+/// and never leaves its bucket (both properties are property-tested).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+        }
+    }
+
+    /// Bucket index of `v`: its significant-bit count, clamped to the
+    /// last bucket.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `b` — what percentile queries
+    /// report.
+    pub fn bucket_bound(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            _ if b >= HISTOGRAM_BUCKETS - 1 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw bucket counts (index = [`Histogram::bucket_of`]).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Fold `other` in by bucket-wise addition.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Upper bound of the bucket holding the rank-`ceil(p/100·n)`
+    /// sample (1-based, `p` clamped to `[0, 100]`); 0 when empty. The
+    /// exact order statistic lies in the same bucket, at or below the
+    /// returned value.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return Self::bucket_bound(b);
+            }
+        }
+        Self::bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+/// Lock-free histogram shared by the telemetry sink: relaxed per-bucket
+/// atomics, so concurrent recording commutes and same-seed runs
+/// snapshot identical histograms.
+struct AtomicHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        self.buckets[Histogram::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (dst, src) in h.buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+            h.count += *dst;
+        }
+        h
+    }
+}
+
 /// The shared sink: lock-free counters plus a span log.
 pub struct SearchStats {
     counters: [AtomicU64; NUM_COUNTERS],
     spans: Mutex<Vec<SpanRecord>>,
     /// Spans discarded once the log hit [`MAX_SPANS`].
     spans_dropped: AtomicU64,
+    /// Per-phase span-duration histograms (µs). Fed by every completed
+    /// span, including those the capped span log discards, so
+    /// percentiles stay exact under truncation.
+    phase_lat: [AtomicHistogram; NUM_PHASES],
+    /// Per-route-call latency histogram (µs).
+    route_lat: AtomicHistogram,
     epoch: Instant,
 }
 
@@ -206,6 +355,8 @@ impl SearchStats {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             spans: Mutex::new(Vec::new()),
             spans_dropped: AtomicU64::new(0),
+            phase_lat: std::array::from_fn(|_| AtomicHistogram::new()),
+            route_lat: AtomicHistogram::new(),
             epoch: Instant::now(),
         }
     }
@@ -224,6 +375,7 @@ impl SearchStats {
     fn record_span(&self, phase: Phase, ii: Option<u32>, started: Instant) {
         let start_us = started.duration_since(self.epoch).as_micros() as u64;
         let dur_us = started.elapsed().as_micros() as u64;
+        self.phase_lat[phase as usize].record(dur_us);
         let mut spans = self.spans.lock().unwrap();
         if spans.len() >= MAX_SPANS {
             self.spans_dropped.fetch_add(1, Ordering::Relaxed);
@@ -250,6 +402,22 @@ impl SearchStats {
     /// Spans discarded because the log was full.
     pub fn spans_dropped(&self) -> u64 {
         self.spans_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Record one route call's latency.
+    #[inline]
+    pub fn record_route_us(&self, us: u64) {
+        self.route_lat.record(us);
+    }
+
+    /// Span-duration histogram of `phase` (µs).
+    pub fn phase_histogram(&self, phase: Phase) -> Histogram {
+        self.phase_lat[phase as usize].snapshot()
+    }
+
+    /// Per-route-call latency histogram (µs).
+    pub fn route_histogram(&self) -> Histogram {
+        self.route_lat.snapshot()
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -426,6 +594,24 @@ impl Telemetry {
     pub fn spans_dropped(&self) -> u64 {
         self.0.as_ref().map(|s| s.spans_dropped()).unwrap_or(0)
     }
+
+    /// Record one route call's latency (no-op when disabled).
+    #[inline]
+    pub fn record_route_us(&self, us: u64) {
+        if let Some(s) = &self.0 {
+            s.record_route_us(us);
+        }
+    }
+
+    /// Span-duration histogram of `phase`, or `None` when disabled.
+    pub fn phase_histogram(&self, phase: Phase) -> Option<Histogram> {
+        self.0.as_ref().map(|s| s.phase_histogram(phase))
+    }
+
+    /// Per-route-call latency histogram, or `None` when disabled.
+    pub fn route_histogram(&self) -> Option<Histogram> {
+        self.0.as_ref().map(|s| s.route_histogram())
+    }
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -530,6 +716,73 @@ mod tests {
         for p in Phase::ALL {
             assert!(!p.label().is_empty());
         }
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        for v in [0u64, 1, 1, 3, 8, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        // Estimates are bucket upper bounds and never undershoot the
+        // exact order statistic.
+        assert_eq!(h.p50(), 3); // exact rank-4 sample is 3, bucket [2,3]
+        assert!(h.p90() >= 100);
+        assert!(h.p99() >= 1000);
+        assert_eq!(h.percentile(0.0), 0); // rank clamps to 1 → value 0
+                                          // Bucket bound round-trips through bucket_of.
+        for b in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_bound(b)), b);
+        }
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [2u64, 5, 1 << 40] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 6);
+        let mut all = Histogram::new();
+        for v in [1u64, 5, 9, 2, 5, 1 << 40] {
+            all.record(v);
+        }
+        assert_eq!(ab, all);
+    }
+
+    #[test]
+    fn phase_and_route_histograms_record() {
+        let t = Telemetry::enabled();
+        {
+            let _g = t.span(Phase::Map);
+        }
+        {
+            let _g = t.span_ii(Phase::Map, 2);
+        }
+        t.record_route_us(7);
+        t.record_route_us(900);
+        assert_eq!(t.phase_histogram(Phase::Map).unwrap().count(), 2);
+        assert_eq!(t.phase_histogram(Phase::Parse).unwrap().count(), 0);
+        let r = t.route_histogram().unwrap();
+        assert_eq!(r.count(), 2);
+        assert!(r.p99() >= 900);
+        // Disabled handles report nothing.
+        let off = Telemetry::off();
+        off.record_route_us(1);
+        assert!(off.route_histogram().is_none());
+        assert!(off.phase_histogram(Phase::Map).is_none());
     }
 
     #[test]

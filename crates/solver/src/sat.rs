@@ -137,6 +137,9 @@ pub struct SatSolver {
     /// Cooperative stop signal, polled once per CDCL loop iteration.
     /// Inert by default; `solve` returns `Unknown` when it fires.
     pub interrupt: crate::interrupt::Interrupt,
+    /// Final-conflict core of the last assumption solve (see
+    /// [`SatSolver::failed_assumptions`]).
+    failed: Vec<Lit>,
 }
 
 impl Default for SatSolver {
@@ -173,6 +176,7 @@ impl SatSolver {
             learnt_gcd: 0,
             conflict_budget: u64::MAX,
             interrupt: crate::interrupt::Interrupt::none(),
+            failed: Vec::new(),
         }
     }
 
@@ -490,6 +494,53 @@ impl SatSolver {
         (learnt, bt)
     }
 
+    /// The subset of the last [`solve_with_assumptions`] call's
+    /// assumptions that formed the final conflict — a (not necessarily
+    /// minimal) unsat core over the assumption set. Empty when the
+    /// formula is unsatisfiable on its own, or when the last solve was
+    /// not `Unsat`.
+    ///
+    /// [`solve_with_assumptions`]: SatSolver::solve_with_assumptions
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    /// MiniSat's `analyzeFinal`: `a` is an assumption falsified by the
+    /// current trail (which holds only assumption decisions and their
+    /// propagations). Walk reason chains backward from `a`'s variable;
+    /// every decision reached is an earlier assumption, and together
+    /// with `a` they form the conflict core. Must run *before*
+    /// `cancel_until(0)` tears the trail down.
+    fn analyze_final(&self, a: Lit) -> Vec<Lit> {
+        let mut out = vec![a];
+        if self.trail_lim.is_empty() {
+            return out;
+        }
+        let mut seen = vec![false; self.num_vars as usize];
+        seen[a.var().0 as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().0 as usize;
+            if !seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                // A decision above level 0 during assumption
+                // establishment is itself an assumption.
+                None => out.push(l),
+                Some(ci) => {
+                    for &q in &self.clauses[ci as usize].lits {
+                        if self.level[q.var().0 as usize] > 0 {
+                            seen[q.var().0 as usize] = true;
+                        }
+                    }
+                }
+            }
+            seen[v] = false;
+        }
+        out
+    }
+
     fn cancel_until(&mut self, level: u32) {
         while self.trail_lim.len() as u32 > level {
             let lim = self.trail_lim.pop().unwrap();
@@ -634,6 +685,7 @@ impl SatSolver {
         if !assumptions.is_empty() {
             self.assumption_solves += 1;
         }
+        self.failed.clear();
         if self.unsat {
             return SatResult::Unsat;
         }
@@ -722,7 +774,10 @@ impl SatSolver {
                             Value::False => {
                                 // The formula (plus earlier assumptions)
                                 // implies ¬a: unsat under assumptions,
-                                // but the solver stays reusable.
+                                // but the solver stays reusable. Extract
+                                // the final-conflict core while the
+                                // trail still exists.
+                                self.failed = self.analyze_final(a);
                                 self.cancel_until(0);
                                 return SatResult::Unsat;
                             }
@@ -1047,6 +1102,68 @@ mod tests {
         s.add_clause(&[Lit::neg(x)]);
         assert_eq!(s.solve(), SatResult::Unsat);
         assert_eq!(s.solve_with_assumptions(&[Lit::pos(x)]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn failed_assumptions_name_the_conflicting_subset() {
+        // ¬x ∨ ¬y makes {x, y} jointly inconsistent; z is innocent.
+        let mut s = SatSolver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let z = s.new_var();
+        s.add_clause(&[Lit::neg(x), Lit::neg(y)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(x), Lit::pos(z), Lit::pos(y)]),
+            SatResult::Unsat
+        );
+        let mut core = s.failed_assumptions().to_vec();
+        core.sort_by_key(|l| l.var().0);
+        assert_eq!(core, vec![Lit::pos(x), Lit::pos(y)]);
+        // A satisfiable call clears the core.
+        assert!(matches!(
+            s.solve_with_assumptions(&[Lit::pos(x)]),
+            SatResult::Sat(_)
+        ));
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn failed_assumptions_empty_when_formula_unsat_alone() {
+        let mut s = SatSolver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause(&[Lit::pos(x)]);
+        s.add_clause(&[Lit::neg(x)]);
+        assert_eq!(s.solve_with_assumptions(&[Lit::pos(y)]), SatResult::Unsat);
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn failed_assumptions_cover_selector_layers() {
+        // Two selector-guarded groups force x and ¬x; a third selector
+        // guards an unrelated satisfiable group and must stay out of
+        // the core. The conflict here surfaces through a learnt clause
+        // (a's group propagates x, b's refutes it), exercising the
+        // reason-chain walk rather than direct falsification.
+        let mut s = SatSolver::new();
+        let x = s.new_var();
+        let w = s.new_var();
+        let a = s.new_selector();
+        let b = s.new_selector();
+        let c = s.new_selector();
+        s.add_clause_under(a, &[Lit::pos(x)]);
+        s.add_clause_under(b, &[Lit::neg(x)]);
+        s.add_clause_under(c, &[Lit::pos(w)]);
+        assert_eq!(s.solve_with_assumptions(&[c, a, b]), SatResult::Unsat);
+        let mut core = s.failed_assumptions().to_vec();
+        core.sort_by_key(|l| l.var().0);
+        let mut expect = vec![a, b];
+        expect.sort_by_key(|l| l.var().0);
+        assert_eq!(core, expect);
+        // Core literals are always drawn from the assumption set.
+        for l in s.failed_assumptions() {
+            assert!([c, a, b].contains(l));
+        }
     }
 
     #[test]

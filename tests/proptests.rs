@@ -166,6 +166,79 @@ proptest! {
     }
 
     #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        xs in prop::collection::vec(any::<u64>(), 0..64),
+        ys in prop::collection::vec(any::<u64>(), 0..64),
+        zs in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        use cgra::mapper::telemetry::Histogram;
+        let of = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (of(&xs), of(&ys), of(&zs));
+        // Commutative: a ⊕ b == b ⊕ a.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        // Associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        prop_assert_eq!(ab_c.count(), (xs.len() + ys.len() + zs.len()) as u64);
+    }
+
+    #[test]
+    fn histogram_percentile_brackets_the_exact_order_statistic(
+        xs in prop::collection::vec(any::<u64>(), 1..256),
+        p in 0u32..101,
+    ) {
+        use cgra::mapper::telemetry::Histogram;
+        let p = p as f64;
+        let mut h = Histogram::new();
+        for &v in &xs {
+            h.record(v);
+        }
+        // The exact rank-ceil(p/100·n) order statistic (1-based), the
+        // same rank the histogram's percentile query targets.
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let got = h.percentile(p);
+        // Never undershoots, and never leaves the exact value's bucket.
+        prop_assert!(got >= exact, "percentile {got} undershoots exact {exact}");
+        prop_assert_eq!(
+            Histogram::bucket_of(got),
+            Histogram::bucket_of(exact),
+            "percentile left the bucket of the exact order statistic"
+        );
+    }
+
+    #[test]
+    fn mii_bound_diagnosis_is_deterministic(dfg in arb_dfg(), hi in 0u32..4) {
+        // Two diagnoses of the same (kernel, fabric, II bound) must be
+        // structurally identical — renders, orderings and all — and
+        // survive a JSON round-trip.
+        let fabric = Fabric::homogeneous(2, 2, Topology::Mesh);
+        let d1 = diagnose_mii_bound(&dfg, &fabric, hi);
+        let d2 = diagnose_mii_bound(&dfg, &fabric, hi);
+        prop_assert_eq!(&d1, &d2);
+        prop_assert_eq!(d1.render(), d2.render());
+        let back = Diagnosis::from_json(&serde_json::to_value(&d1));
+        prop_assert_eq!(back, Some(d1));
+    }
+
+    #[test]
     fn minic_roundtrip_random_expressions(a in -50i64..50, b in -50i64..50, c in 1i64..20) {
         // Generate a MiniC kernel from the values and check the
         // interpreter against direct evaluation.
